@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks over the hot paths of the reproduction:
+//! feature extraction, accuracy-model inference, the scheduler decision,
+//! GoF execution, and mAP evaluation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use litereconfig::offline::{profile_videos, OfflineConfig};
+use litereconfig::trainer::{train_scheduler, TrainConfig};
+use litereconfig::{FeatureService, Policy, Scheduler};
+use lr_device::{DeviceKind, DeviceSim};
+use lr_eval::MapAccumulator;
+use lr_features::FeatureKind;
+use lr_kernels::branch::small_catalog;
+use lr_kernels::{Branch, DetectorFamily, Mbek, TrackerKind};
+use lr_video::raster::rasterize;
+use lr_video::{Dataset, DatasetConfig, Split, Video, VideoSpec};
+
+fn test_video() -> Video {
+    Video::generate(VideoSpec {
+        id: 0,
+        seed: 4242,
+        width: 640.0,
+        height: 480.0,
+        num_frames: 64,
+    })
+}
+
+fn bench_features(c: &mut Criterion) {
+    let v = test_video();
+    let img = rasterize(&v.frames[0], &v.style, 64);
+    let mut svc = FeatureService::new();
+    let logits = vec![vec![0.0f32; 31]; 8];
+
+    let mut g = c.benchmark_group("features");
+    g.bench_function("rasterize_64", |b| {
+        b.iter(|| rasterize(&v.frames[0], &v.style, 64))
+    });
+    g.bench_function("hoc", |b| b.iter(|| lr_features::hoc::extract(&img)));
+    g.bench_function("hog", |b| b.iter(|| lr_features::hog::extract(&img)));
+    g.bench_function("resnet50_standin", |b| {
+        b.iter(|| svc.extract_heavy(FeatureKind::ResNet50, &v, 0, None))
+    });
+    g.bench_function("cpop", |b| {
+        b.iter(|| lr_features::cpop::cpop_vector(&logits))
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let v = test_video();
+    let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 1);
+    let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+    mbek.set_branch(Branch::tracked(448, 100, TrackerKind::Csrt, 8, 4));
+
+    let mut g = c.benchmark_group("kernels");
+    g.bench_function("gof_8_frames", |b| {
+        b.iter(|| mbek.run_gof(&v.frames[0..8], &mut dev))
+    });
+    let det = lr_kernels::DetectorSim::new(DetectorFamily::FasterRcnn);
+    g.bench_function("detect_frame", |b| {
+        b.iter(|| det.detect(&v.frames[0], lr_kernels::DetectorConfig::new(448, 100), dev.rng()))
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let dataset = Dataset::new(DatasetConfig {
+        train_vision: 0,
+        train_scheduler: 2,
+        validation: 0,
+        id_offset: 30_000,
+    });
+    let train = dataset.videos(Split::TrainScheduler);
+    let mut svc = FeatureService::new();
+    let cfg = OfflineConfig {
+        snippet_len: 50,
+        ..OfflineConfig::paper(small_catalog(), DetectorFamily::FasterRcnn)
+    };
+    let ds = profile_videos(&train, &cfg, &mut svc);
+    let trained = Arc::new(train_scheduler(
+        &ds,
+        DetectorFamily::FasterRcnn,
+        &TrainConfig::tiny(),
+    ));
+    let v = test_video();
+    let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 2);
+
+    let mut g = c.benchmark_group("scheduler");
+    g.bench_function("decide_mincost", |b| {
+        let mut s = Scheduler::new(trained.clone(), Policy::MinCost, 50.0);
+        b.iter(|| s.decide(&v, 0, &[], &mut svc, &mut dev))
+    });
+    g.bench_function("decide_cost_benefit", |b| {
+        let mut s = Scheduler::new(trained.clone(), Policy::CostBenefit, 50.0);
+        b.iter(|| s.decide(&v, 0, &[], &mut svc, &mut dev))
+    });
+    let light_model = &trained.accuracy[&FeatureKind::Light];
+    g.bench_function("accuracy_mlp_infer", |b| {
+        b.iter(|| light_model.predict(&[0.4, 0.3, 0.2, 0.01], None))
+    });
+    g.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let v = test_video();
+    let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 3);
+    let det = lr_kernels::DetectorSim::new(DetectorFamily::FasterRcnn);
+    let frames: Vec<_> = v
+        .frames
+        .iter()
+        .map(|f| {
+            let out = det.detect(f, lr_kernels::DetectorConfig::new(448, 100), dev.rng());
+            (
+                litereconfig::offline::to_gt_boxes(f),
+                litereconfig::offline::to_pred_boxes(&out.detections),
+            )
+        })
+        .collect();
+
+    c.bench_function("map_64_frames", |b| {
+        b.iter(|| {
+            let mut acc = MapAccumulator::new();
+            for (gt, pred) in &frames {
+                acc.add_frame(gt, pred);
+            }
+            acc.finalize(0.5).map
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_features, bench_kernels, bench_scheduler, bench_eval
+}
+criterion_main!(benches);

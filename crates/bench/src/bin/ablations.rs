@@ -1,0 +1,252 @@
+//! Ablations of LiteReconfig's design choices (DESIGN.md §5):
+//!
+//! 1. the switching-cost term `C(b0, b)` in the optimizer (on/off);
+//! 2. cost-benefit feature selection vs always-all-features;
+//! 3. feasibility headroom (the conservatism that protects the P95);
+//! 4. snippet length N for the accuracy labels.
+//!
+//! Usage: `cargo run --release -p lr-bench --bin ablations [small|paper]`
+
+use std::sync::Arc;
+
+use litereconfig::offline::{profile_videos, OfflineConfig};
+use litereconfig::pipeline::{run_adaptive, RunConfig};
+use litereconfig::scheduler::Scheduler;
+use litereconfig::trainer::train_scheduler;
+use litereconfig::Policy;
+use lr_bench::{scale_from_args, ExperimentScale, Suite};
+use lr_device::{DeviceKind, SwitchingCostModel};
+use lr_eval::TextTable;
+use lr_kernels::DetectorFamily;
+use lr_video::{Dataset, Split};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut suite = Suite::build(scale);
+    let slo = 33.3;
+
+    // --- Ablation 1: switching-cost term on/off. -------------------------
+    // Turning the term off is equivalent to a zero-cost switching model in
+    // the *optimizer* (execution still pays real switching costs).
+    let mut no_switch = (*suite.frcnn).clone();
+    no_switch.switching = SwitchingCostModel {
+        base_ms: 0.0,
+        dst_coeff: 0.0,
+        src_light_bonus_ms: 0.0,
+        src_scale_ms: 1.0,
+    };
+    let no_switch = Arc::new(no_switch);
+
+    let mut t1 = TextTable::new(&["Optimizer", "mAP (%)", "P95 (ms)", "Switches"]);
+    for (name, trained) in [("with C(b0,b)", suite.frcnn.clone()), ("without C(b0,b)", no_switch)] {
+        let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, slo, 6000);
+        let r = run_adaptive(
+            &suite.val_videos,
+            trained,
+            Policy::CostBenefit,
+            &cfg,
+            &mut suite.svc,
+        );
+        t1.add_row_owned(vec![
+            name.to_string(),
+            format!("{:.1}", r.map_pct()),
+            format!("{:.1}", r.latency.p95()),
+            r.switches.len().to_string(),
+        ]);
+    }
+    println!("\nAblation 1: switching-cost term in the optimizer ({slo} ms, TX2)\n{}", t1.render());
+
+    // --- Ablation 2: feature selection policy. ---------------------------
+    let mut t2 = TextTable::new(&["Feature policy", "mAP (%)", "P95 (ms)", "Scheduler ms/frame"]);
+    let policies: [(&str, Policy); 3] = [
+        ("cost-benefit (paper)", Policy::CostBenefit),
+        ("none (MinCost)", Policy::MinCost),
+        (
+            "always-MobileNet (most expensive)",
+            Policy::MaxContent(lr_features::FeatureKind::MobileNetV2),
+        ),
+    ];
+    for (i, (name, policy)) in policies.iter().enumerate() {
+        let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, slo, 6100 + i as u64);
+        let r = run_adaptive(&suite.val_videos, suite.frcnn.clone(), *policy, &cfg, &mut suite.svc);
+        t2.add_row_owned(vec![
+            name.to_string(),
+            format!("{:.1}", r.map_pct()),
+            format!("{:.1}", r.latency.p95()),
+            format!("{:.2}", r.breakdown.scheduler_ms / r.breakdown.frames.max(1) as f64),
+        ]);
+    }
+    println!("Ablation 2: feature selection policy ({slo} ms, TX2)\n{}", t2.render());
+
+    // --- Ablation 3: feasibility headroom. --------------------------------
+    let mut t3 = TextTable::new(&["Headroom", "mAP (%)", "P95 (ms)", "Meets SLO"]);
+    for (i, headroom) in [1.0, 0.95, 0.88, 0.75].into_iter().enumerate() {
+        let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, slo, 6200 + i as u64);
+        // Reimplement the inner loop with a custom scheduler headroom.
+        let r = run_with_headroom(&mut suite, headroom, &cfg);
+        t3.add_row_owned(vec![
+            format!("{headroom:.2}"),
+            format!("{:.1}", r.0),
+            format!("{:.1}", r.1),
+            if r.1 <= slo { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("Ablation 3: feasibility headroom ({slo} ms, TX2)\n{}", t3.render());
+
+    // --- Ablation 4: snippet length N. ------------------------------------
+    // Shorter snippets = finer-grained but noisier labels; very long
+    // snippets tend toward a content-agnostic model (paper footnote 3).
+    let mut t4 = TextTable::new(&["Snippet N", "Records", "Light-model regret @100ms"]);
+    let dataset = Dataset::new(scale.dataset_config());
+    let train_videos = dataset.videos(Split::TrainScheduler);
+    let lens: &[usize] = if scale == ExperimentScale::Small {
+        &[25, 50]
+    } else {
+        &[50, 100, 200]
+    };
+    for &n in lens {
+        let cfg = OfflineConfig {
+            snippet_len: n,
+            ..OfflineConfig::paper(scale.frcnn_catalog(), DetectorFamily::FasterRcnn)
+        };
+        let ds = profile_videos(&train_videos, &cfg, &mut suite.svc);
+        let trained = train_scheduler(&ds, DetectorFamily::FasterRcnn, &scale.train_config());
+        let light = &trained.accuracy[&lr_features::FeatureKind::Light];
+        let mut regret = 0.0f32;
+        for r in &ds.records {
+            let pred = light.predict(&r.light, None);
+            let mut best = (0usize, f32::NEG_INFINITY);
+            for (i, &p) in pred.iter().enumerate() {
+                if r.branch_det_ms[i] + r.branch_trk_ms[i] <= 100.0 && p > best.1 {
+                    best = (i, p);
+                }
+            }
+            regret += ds.oracle_map_under_budget(r, 100.0) - r.branch_map[best.0];
+        }
+        t4.add_row_owned(vec![
+            n.to_string(),
+            ds.len().to_string(),
+            format!("{:.3}", regret / ds.len().max(1) as f32),
+        ]);
+    }
+    println!("Ablation 4: snippet length N (offline label granularity)\n{}", t4.render());
+
+    // --- Ablation 5: optimizer (paper's SGD+momentum vs Adam). -----------
+    // Retrains the light accuracy model with both optimizers on identical
+    // data/architecture and compares the fit.
+    {
+        use lr_nn::adam::{Adam, AdamMlp};
+        use lr_nn::{Matrix, Mlp, MlpConfig, Sgd};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let ds = &suite.frcnn_dataset;
+        let n = ds.len();
+        let out_dim = ds.catalog.len();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for r in &ds.records {
+            x.extend_from_slice(&r.light);
+            y.extend_from_slice(&r.branch_map);
+        }
+        let x = Matrix::from_vec(n, 4, x);
+        let y = Matrix::from_vec(n, out_dim, y);
+        let cfg = MlpConfig {
+            hidden_activation: lr_nn::layers::Activation::LeakyRelu,
+            ..MlpConfig::regression(4, &[96, 96, 96, 96], out_dim)
+        };
+
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut sgd_net = Mlp::new(&cfg, &mut rng);
+        let sgd_hist = sgd_net.fit(
+            &x,
+            &y,
+            Sgd::paper(0.004, 1e-4).with_grad_clip(2.0),
+            150,
+            32,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut adam_net = AdamMlp::new(&cfg, &mut rng);
+        let adam_hist = adam_net.fit(&x, &y, Adam::default(), 150, 32, &mut rng);
+        println!(
+            "Ablation 5: optimizer — SGD+momentum (paper) final MSE {:.4}, Adam final MSE {:.4}",
+            sgd_hist.last().copied().unwrap_or(f32::NAN),
+            adam_hist.last().copied().unwrap_or(f32::NAN)
+        );
+    }
+}
+
+/// Runs the full policy with a custom scheduler headroom; returns
+/// (mAP %, P95 ms). This duplicates a small part of `run_adaptive` because
+/// headroom is a scheduler-construction parameter.
+fn run_with_headroom(suite: &mut Suite, headroom: f64, cfg: &RunConfig) -> (f64, f64) {
+    use litereconfig::offline::{to_gt_boxes, to_pred_boxes};
+    use lr_device::switching::OnlineSwitchSampler;
+    use lr_device::DeviceSim;
+    use lr_eval::{LatencyStats, MapAccumulator};
+
+    let trained = suite.frcnn.clone();
+    let mut device = DeviceSim::new(cfg.device, cfg.contention_pct, cfg.seed);
+    let mut mbek = lr_kernels::Mbek::new(trained.family);
+    let mut scheduler = Scheduler::new(trained.clone(), Policy::CostBenefit, cfg.slo_ms)
+        .with_headroom(headroom);
+    let mut sampler = OnlineSwitchSampler::new(trained.switching);
+    for b in &trained.catalog {
+        sampler.preheat(b.key());
+    }
+    let mut acc = MapAccumulator::new();
+    let mut lat = LatencyStats::new();
+    for video in &suite.val_videos {
+        scheduler.reset_stream();
+        let mut boxes: Vec<lr_video::BBox> = Vec::new();
+        let mut t = 0usize;
+        while t < video.len() {
+            let before = device.now_ms();
+            let d = scheduler.decide(video, t, &boxes, &mut suite.svc, &mut device);
+            let sched_ms = device.now_ms() - before;
+            let mut switch_ms = 0.0;
+            if scheduler.current_branch() != Some(d.branch_idx) || mbek.branch().is_none() {
+                let src = scheduler
+                    .current_branch()
+                    .map_or(80.0, |i| trained.det_inference_ms[i]);
+                let cost = sampler.sample_ms(
+                    src,
+                    trained.det_inference_ms[d.branch_idx],
+                    trained.catalog[d.branch_idx].key(),
+                    device.rng(),
+                );
+                switch_ms = device.charge_fixed(cost * device.profile().gpu_speed_factor);
+                mbek.set_branch(trained.catalog[d.branch_idx]);
+                scheduler.commit_branch(d.branch_idx);
+            }
+            let branch = trained.catalog[d.branch_idx];
+            let end = (t + branch.gof_size.max(1) as usize).min(video.len());
+            let frames = &video.frames[t..end];
+            let light = suite.svc.light(video, t, &boxes);
+            let result = mbek.run_gof(frames, &mut device);
+            let per_frame =
+                (sched_ms + switch_ms + result.kernel_ms()) / frames.len() as f64;
+            for (truth, dets) in frames.iter().zip(result.per_frame.iter()) {
+                acc.add_frame(&to_gt_boxes(truth), &to_pred_boxes(dets));
+                lat.record(per_frame);
+            }
+            let n = frames.len() as f64;
+            scheduler.observe_latency(
+                d.branch_idx,
+                &light,
+                result.detector_ms / n,
+                result.tracker_ms / n,
+            );
+            scheduler.record_detection(t, result.first_frame_output.proposal_logits.clone());
+            boxes = result
+                .first_frame_output
+                .detections
+                .iter()
+                .map(|x| x.bbox)
+                .collect();
+            t = end;
+        }
+    }
+    (acc.finalize(0.5).map * 100.0, lat.p95())
+}

@@ -1,0 +1,163 @@
+//! Calibration diagnostics: verifies the end-to-end trends the paper's
+//! tables depend on before running the full experiments.
+//!
+//! Usage: `cargo run --release -p lr-bench --bin calibrate [small|paper]`
+
+use litereconfig::pipeline::run_adaptive;
+use litereconfig::protocols::AdaptiveProtocol;
+use lr_bench::{map_cell, scale_from_args, Suite};
+use lr_device::DeviceKind;
+use lr_eval::TextTable;
+use lr_features::FeatureKind;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut suite = Suite::build(scale);
+
+    // Predictor diagnostics: per-feature accuracy-model fit.
+    println!("== accuracy-model training MSE ==");
+    for (kind, model) in &suite.frcnn.accuracy {
+        println!(
+            "  {:<12} train_mse={:.4} eval_mse={:.4}",
+            kind.name(),
+            model.train_mse(),
+            model.evaluate(&suite.frcnn_dataset)
+        );
+    }
+
+    // Oracle diagnostics: what the best branch per snippet achieves under
+    // a pure kernel budget — the ceiling any scheduler can reach.
+    println!("\n== oracle snippet mAP under kernel budget ==");
+    for budget in [15.0, 33.3, 50.0, 100.0, 1e9] {
+        let mean: f32 = suite
+            .frcnn_dataset
+            .records
+            .iter()
+            .map(|r| suite.frcnn_dataset.oracle_map_under_budget(r, budget))
+            .sum::<f32>()
+            / suite.frcnn_dataset.len() as f32;
+        println!("  budget {budget:>8.1} ms -> oracle mAP {:.3}", mean);
+    }
+    // Regret of the light model's picks against the oracle at 100 ms.
+    let light_model = &suite.frcnn.accuracy[&FeatureKind::Light];
+    let mut regret = 0.0f32;
+    for r in &suite.frcnn_dataset.records {
+        let pred = light_model.predict(&r.light, None);
+        let mut best_pred = f32::NEG_INFINITY;
+        let mut chosen = 0usize;
+        for (i, &p) in pred.iter().enumerate() {
+            if r.branch_det_ms[i] + r.branch_trk_ms[i] <= 100.0 && p > best_pred {
+                best_pred = p;
+                chosen = i;
+            }
+        }
+        regret += suite.frcnn_dataset.oracle_map_under_budget(r, 100.0) - r.branch_map[chosen];
+    }
+    println!(
+        "  light-model regret vs oracle @100ms: {:.3}",
+        regret / suite.frcnn_dataset.len() as f32
+    );
+
+    // Per-branch mean label mAP: the real accuracy-latency trade-off
+    // without max-selection noise.
+    println!("\n== per-branch mean label mAP (offline) ==");
+    let ds = &suite.frcnn_dataset;
+    let mut rows: Vec<(String, f64, f32)> = Vec::new();
+    for (i, b) in ds.catalog.iter().enumerate() {
+        let mean_map: f32 =
+            ds.records.iter().map(|r| r.branch_map[i]).sum::<f32>() / ds.len() as f32;
+        let mean_ms: f64 = ds
+            .records
+            .iter()
+            .map(|r| r.branch_det_ms[i] + r.branch_trk_ms[i])
+            .sum::<f64>()
+            / ds.len() as f64;
+        rows.push((b.name(), mean_ms, mean_map));
+    }
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (name, ms, map) in &rows {
+        println!("  {name:<38} {ms:>7.1} ms  mAP {map:.3}");
+    }
+
+    // Ben table diagnostics.
+    println!("\n== Ben(f, SLO) ==");
+    for kind in lr_features::HEAVY_FEATURE_KINDS {
+        let b: Vec<String> = [33.3, 50.0, 100.0]
+            .iter()
+            .map(|&s| format!("{:+.3}", suite.frcnn.ben.single(kind, s)))
+            .collect();
+        println!("  {:<12} {}", kind.name(), b.join("  "));
+    }
+
+    // End-to-end variant comparison on the TX2, no contention.
+    let protocols = [
+        AdaptiveProtocol::LiteReconfigMinCost,
+        AdaptiveProtocol::LiteReconfigMaxContentResNet,
+        AdaptiveProtocol::LiteReconfigMaxContentMobileNet,
+        AdaptiveProtocol::LiteReconfig,
+    ];
+    let slos = [33.3, 50.0, 100.0];
+    let mut table = TextTable::new(&["Protocol", "mAP@33.3/50/100", "P95@33.3/50/100"]);
+    for p in protocols {
+        let mut maps = Vec::new();
+        let mut p95s = Vec::new();
+        for (i, &slo) in slos.iter().enumerate() {
+            let r = run_adaptive(
+                &suite.val_videos,
+                suite.frcnn.clone(),
+                p.policy(),
+                &p.run_config(DeviceKind::JetsonTx2, 0.0, slo, 42 + i as u64),
+                &mut suite.svc,
+            );
+            maps.push(map_cell(r.map_pct(), r.latency.p95(), slo));
+            p95s.push(format!("{:.1}", r.latency.p95()));
+        }
+        table.add_row(&[p.name(), &maps.join("/"), &p95s.join("/")]);
+    }
+    println!("\n== TX2, 0% contention ==");
+    println!("{}", table.render());
+
+    // Contention check: MinCost adaptive vs a frozen latency model.
+    let r_adaptive = run_adaptive(
+        &suite.val_videos,
+        suite.frcnn.clone(),
+        litereconfig::Policy::MinCost,
+        &AdaptiveProtocol::LiteReconfigMinCost.run_config(DeviceKind::JetsonTx2, 50.0, 50.0, 99),
+        &mut suite.svc,
+    );
+    let mut frozen_cfg =
+        AdaptiveProtocol::LiteReconfigMinCost.run_config(DeviceKind::JetsonTx2, 50.0, 50.0, 99);
+    frozen_cfg.contention_adaptive = false;
+    let r_frozen = run_adaptive(
+        &suite.val_videos,
+        suite.frcnn.clone(),
+        litereconfig::Policy::MinCost,
+        &frozen_cfg,
+        &mut suite.svc,
+    );
+    println!("== 50% GPU contention, 50 ms SLO, TX2 ==");
+    println!(
+        "  adaptive: mAP {:.1} P95 {:.1} | frozen: mAP {:.1} P95 {:.1}",
+        r_adaptive.map_pct(),
+        r_adaptive.latency.p95(),
+        r_frozen.map_pct(),
+        r_frozen.latency.p95()
+    );
+
+    // Feature availability sanity: the full system should actually use
+    // content features at loose SLOs.
+    let r = run_adaptive(
+        &suite.val_videos,
+        suite.frcnn.clone(),
+        litereconfig::Policy::CostBenefit,
+        &AdaptiveProtocol::LiteReconfig.run_config(DeviceKind::JetsonTx2, 0.0, 100.0, 7),
+        &mut suite.svc,
+    );
+    println!(
+        "\nfull system @100ms: {} decisions, {} infeasible, {} branches used",
+        r.decisions,
+        r.infeasible_decisions,
+        r.branches_used.len()
+    );
+    let _ = FeatureKind::Light;
+}

@@ -1,0 +1,63 @@
+//! Figure 2: accuracy-vs-latency curves for the content-agnostic
+//! strategy, the ResNet content-aware strategy, and the MobileNet
+//! content-aware strategy — the motivation for cost-benefit analysis.
+//!
+//! Each strategy pays its real feature costs; sweeping the SLO traces the
+//! curve. The paper's shape: ResNet-aware dominates content-agnostic
+//! (detector-byproduct features are nearly free), while MobileNet-aware
+//! falls below it (its 153.96 ms extraction eats the kernel's budget).
+//!
+//! Usage: `cargo run --release -p lr-bench --bin figure2 [small|paper]`
+
+use litereconfig::pipeline::{run_adaptive, RunConfig};
+use litereconfig::Policy;
+use lr_bench::{scale_from_args, Suite};
+use lr_device::DeviceKind;
+use lr_eval::TextTable;
+use lr_features::FeatureKind;
+
+fn main() {
+    let mut suite = Suite::build(scale_from_args());
+    let slos = [25.0, 33.3, 50.0, 66.7, 100.0];
+    let strategies = [
+        ("content-agnostic", Policy::MinCost),
+        (
+            "content-aware (ResNet)",
+            Policy::MaxContent(FeatureKind::ResNet50),
+        ),
+        (
+            "content-aware (MobileNet)",
+            Policy::MaxContent(FeatureKind::MobileNetV2),
+        ),
+    ];
+
+    let mut table = TextTable::new(&["Strategy", "SLO (ms)", "mAP (%)", "Mean latency (ms)", "P95 (ms)"]);
+    for (si, (name, policy)) in strategies.iter().enumerate() {
+        for (li, &slo) in slos.iter().enumerate() {
+            let cfg = RunConfig::clean(
+                DeviceKind::JetsonTx2,
+                0.0,
+                slo,
+                3000 + si as u64 * 10 + li as u64,
+            );
+            let r = run_adaptive(
+                &suite.val_videos,
+                suite.frcnn.clone(),
+                *policy,
+                &cfg,
+                &mut suite.svc,
+            );
+            eprintln!("[figure2] {name} @{slo} -> {:.1}", r.map_pct());
+            table.add_row_owned(vec![
+                name.to_string(),
+                format!("{slo}"),
+                format!("{:.1}", r.map_pct()),
+                format!("{:.1}", r.latency.mean()),
+                format!("{:.1}", r.latency.p95()),
+            ]);
+        }
+    }
+    println!("\nFigure 2 data: accuracy vs latency per strategy (TX2, no contention)\n");
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.render_csv());
+}

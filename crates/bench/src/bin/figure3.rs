@@ -1,0 +1,87 @@
+//! Figure 3: latency breakdown of each system component (detector,
+//! tracker, modeling cost, switching cost), normalized by the SLO.
+//!
+//! Usage: `cargo run --release -p lr-bench --bin figure3 [small|paper]`
+
+use std::sync::Arc;
+
+use litereconfig::protocols::AdaptiveProtocol;
+use litereconfig::TrainedScheduler;
+use lr_bench::{scale_from_args, Suite};
+use lr_device::DeviceKind;
+use lr_eval::TextTable;
+use lr_kernels::DetectorFamily;
+
+fn main() {
+    let mut suite = Suite::build(scale_from_args());
+    let ssd = suite.train_one_stage(DetectorFamily::Ssd);
+    let yolo = suite.train_one_stage(DetectorFamily::Yolo);
+
+    let protocols = [
+        AdaptiveProtocol::SsdPlus,
+        AdaptiveProtocol::YoloPlus,
+        AdaptiveProtocol::ApproxDet,
+        AdaptiveProtocol::LiteReconfigMinCost,
+        AdaptiveProtocol::LiteReconfigMaxContentResNet,
+        AdaptiveProtocol::LiteReconfigMaxContentMobileNet,
+        AdaptiveProtocol::LiteReconfig,
+    ];
+    let slos = [33.3, 50.0, 100.0];
+
+    let mut table = TextTable::new(&[
+        "Protocol",
+        "SLO (ms)",
+        "Detector (%SLO)",
+        "Tracker (%SLO)",
+        "Modeling (%SLO)",
+        "Switching (%SLO)",
+        "Overhead (%SLO)",
+        "Total (%SLO)",
+        "Meets SLO",
+    ]);
+    for (pi, protocol) in protocols.iter().enumerate() {
+        let trained: Arc<TrainedScheduler> = match protocol.family() {
+            DetectorFamily::Ssd => ssd.clone(),
+            DetectorFamily::Yolo => yolo.clone(),
+            _ => suite.frcnn.clone(),
+        };
+        for (li, &slo) in slos.iter().enumerate() {
+            let r = protocol.run(
+                &suite.val_videos,
+                trained.clone(),
+                DeviceKind::JetsonTx2,
+                0.0,
+                slo,
+                4000 + pi as u64 * 10 + li as u64,
+            &mut suite.svc,
+            );
+            let b = &r.breakdown;
+            let pct = |ms: f64| format!("{:.1}", 100.0 * b.fraction_of_slo(ms, slo));
+            // The paper omits bars for protocols that cannot satisfy the
+            // SLO (ApproxDet at 33.3/50 ms).
+            let meets = r.meets_slo(slo);
+            table.add_row_owned(vec![
+                protocol.name().to_string(),
+                format!("{slo}"),
+                pct(b.detector_ms),
+                pct(b.tracker_ms),
+                pct(b.scheduler_ms),
+                pct(b.switch_ms),
+                pct(b.overhead_ms),
+                pct(b.total_ms()),
+                if meets { "yes" } else { "NO (bar omitted in paper)" }.to_string(),
+            ]);
+            eprintln!(
+                "[figure3] {} @{slo}: det {} trk {} model {} switch {}",
+                protocol.name(),
+                pct(b.detector_ms),
+                pct(b.tracker_ms),
+                pct(b.scheduler_ms),
+                pct(b.switch_ms)
+            );
+        }
+    }
+    println!("\nFigure 3 data: per-component mean frame latency as % of the SLO (TX2)\n");
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.render_csv());
+}

@@ -1,0 +1,61 @@
+//! Branch-space Pareto frontier (the accuracy-latency curve sketched in
+//! the paper's Figure 1, bottom right): mean offline mAP vs mean per-frame
+//! kernel latency for every catalog branch, with the Pareto-optimal
+//! branches marked.
+//!
+//! Usage: `cargo run --release -p lr-bench --bin pareto [small|paper]`
+
+use lr_bench::{scale_from_args, Suite};
+use lr_eval::TextTable;
+
+fn main() {
+    let suite = Suite::build(scale_from_args());
+    let ds = &suite.frcnn_dataset;
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for (i, b) in ds.catalog.iter().enumerate() {
+        let mean_map: f64 = ds
+            .records
+            .iter()
+            .map(|r| r.branch_map[i] as f64)
+            .sum::<f64>()
+            / ds.len() as f64;
+        let mean_ms: f64 = ds
+            .records
+            .iter()
+            .map(|r| r.branch_det_ms[i] + r.branch_trk_ms[i])
+            .sum::<f64>()
+            / ds.len() as f64;
+        rows.push((b.name(), mean_ms, mean_map));
+    }
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    // Pareto frontier: strictly increasing accuracy with latency.
+    let mut frontier = vec![false; rows.len()];
+    let mut best = f64::NEG_INFINITY;
+    for (i, row) in rows.iter().enumerate() {
+        if row.2 > best {
+            best = row.2;
+            frontier[i] = true;
+        }
+    }
+
+    let mut table = TextTable::new(&["Branch", "Mean kernel ms/frame", "Mean snippet mAP", "Pareto"]);
+    for (i, (name, ms, map)) in rows.iter().enumerate() {
+        table.add_row_owned(vec![
+            name.clone(),
+            format!("{ms:.1}"),
+            format!("{map:.3}"),
+            if frontier[i] { "*" } else { "" }.to_string(),
+        ]);
+    }
+    println!("\nBranch accuracy-latency space ({} branches, offline labels)\n", rows.len());
+    println!("{}", table.render());
+    let n_frontier = frontier.iter().filter(|&&f| f).count();
+    println!(
+        "{n_frontier} Pareto-optimal branches out of {} — the set any good \
+         scheduler's choices should concentrate on.",
+        rows.len()
+    );
+    println!("\nCSV:\n{}", table.render_csv());
+}

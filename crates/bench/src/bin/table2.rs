@@ -1,0 +1,93 @@
+//! Table 2: the main end-to-end comparison — mAP and P95 latency for all
+//! seven adaptive protocols, on TX2 and AGX Xavier, at 0% and 50% GPU
+//! contention, across three latency SLOs per device.
+//!
+//! Usage: `cargo run --release -p lr-bench --bin table2 [small|paper]`
+
+use std::sync::Arc;
+
+use litereconfig::protocols::AdaptiveProtocol;
+use litereconfig::TrainedScheduler;
+use lr_bench::{map_cell, scale_from_args, Suite};
+use lr_device::DeviceKind;
+use lr_eval::TextTable;
+use lr_kernels::DetectorFamily;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut suite = Suite::build(scale_from_args());
+    let ssd = suite.train_one_stage(DetectorFamily::Ssd);
+    let yolo = suite.train_one_stage(DetectorFamily::Yolo);
+
+    let mut table = TextTable::new(&[
+        "Device, SLOs (ms)",
+        "Contention",
+        "Model",
+        "mAP (%)",
+        "P95 latency (ms)",
+    ]);
+
+    let scenarios = [
+        (DeviceKind::JetsonTx2, 0.0),
+        (DeviceKind::JetsonTx2, 50.0),
+        (DeviceKind::AgxXavier, 0.0),
+        (DeviceKind::AgxXavier, 50.0),
+    ];
+
+    for (scenario_idx, &(device, contention)) in scenarios.iter().enumerate() {
+        let slos = device.paper_slos_ms();
+        for protocol in AdaptiveProtocol::all() {
+            let trained: Arc<TrainedScheduler> = match protocol.family() {
+                DetectorFamily::Ssd => ssd.clone(),
+                DetectorFamily::Yolo => yolo.clone(),
+                _ => suite.frcnn.clone(),
+            };
+            let mut maps = Vec::new();
+            let mut p95s = Vec::new();
+            for (slo_idx, &slo) in slos.iter().enumerate() {
+                let seed = 1000 + scenario_idx as u64 * 100 + slo_idx as u64;
+                let r = protocol.run(
+                    &suite.val_videos,
+                    trained.clone(),
+                    device,
+                    contention,
+                    slo,
+                    seed,
+                    &mut suite.svc,
+                );
+                maps.push(map_cell(r.map_pct(), r.latency.p95(), slo));
+                p95s.push(format!("{:.1}", r.latency.p95()));
+                eprintln!(
+                    "[table2] {} {} {:.0}% @{}ms -> mAP {:.1} P95 {:.1} ({:.0}s elapsed)",
+                    device.name(),
+                    protocol.name(),
+                    contention,
+                    slo,
+                    r.map_pct(),
+                    r.latency.p95(),
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            let slo_label = format!(
+                "{}, {}",
+                device.name(),
+                slos.iter()
+                    .map(|s| format!("{s}"))
+                    .collect::<Vec<_>>()
+                    .join("/")
+            );
+            table.add_row_owned(vec![
+                slo_label,
+                format!("{contention:.0}%"),
+                protocol.name().to_string(),
+                maps.join("/"),
+                p95s.join("/"),
+            ]);
+        }
+    }
+
+    println!("\nTable 2: performance comparison on the synthetic-VID validation set");
+    println!("(\"F\" = the protocol's P95 latency violated the SLO, as in the paper)\n");
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.render_csv());
+}

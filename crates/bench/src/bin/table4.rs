@@ -1,0 +1,85 @@
+//! Table 4: effectiveness of individual content features — accuracy when
+//! one feature is always used with its overhead ignored (the latency
+//! objective applies to the MBEK only).
+//!
+//! Usage: `cargo run --release -p lr-bench --bin table4 [small|paper]`
+
+use litereconfig::pipeline::{run_adaptive, RunConfig};
+use litereconfig::Policy;
+use lr_bench::{scale_from_args, Suite};
+use lr_device::DeviceKind;
+use lr_eval::TextTable;
+use lr_features::{FeatureKind, HEAVY_FEATURE_KINDS};
+
+fn main() {
+    let mut suite = Suite::build(scale_from_args());
+    let slos = [33.3, 50.0, 100.0];
+    let mut table = TextTable::new(&["Feature", "33.3 ms", "50.0 ms", "100.0 ms"]);
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    // "None" row: the content-agnostic model under the same
+    // kernel-only-budget protocol.
+    let mut configs: Vec<(String, Policy)> = vec![(
+        "None".to_string(),
+        Policy::ForcedFeatureFree(FeatureKind::Light),
+    )];
+    for kind in HEAVY_FEATURE_KINDS {
+        configs.push((
+            kind.name().to_string(),
+            Policy::ForcedFeatureFree(kind),
+        ));
+    }
+
+    for (row_idx, (name, policy)) in configs.iter().enumerate() {
+        let mut maps = Vec::new();
+        for (slo_idx, &slo) in slos.iter().enumerate() {
+            let cfg = RunConfig::clean(
+                DeviceKind::JetsonTx2,
+                0.0,
+                slo,
+                2000 + row_idx as u64 * 10 + slo_idx as u64,
+            );
+            let r = run_adaptive(
+                &suite.val_videos,
+                suite.frcnn.clone(),
+                *policy,
+                &cfg,
+                &mut suite.svc,
+            );
+            eprintln!(
+                "[table4] {name} @{slo}ms -> mAP {:.1} (features {:?})",
+                r.map_pct(),
+                r.decisions
+            );
+            maps.push(r.map_pct());
+        }
+        rows.push((name.clone(), maps));
+    }
+
+    for (name, maps) in &rows {
+        table.add_row_owned(
+            std::iter::once(name.clone())
+                .chain(maps.iter().map(|m| format!("{m:.1}%")))
+                .collect(),
+        );
+    }
+    println!("\nTable 4: accuracy of forced single content features (overhead ignored, TX2)\n");
+    println!("{}", table.render());
+
+    // The paper's headline from this table: every content feature beats
+    // "None".
+    let none = &rows[0].1;
+    let mut wins = 0;
+    let mut cells = 0;
+    for (name, maps) in rows.iter().skip(1) {
+        for (i, m) in maps.iter().enumerate() {
+            cells += 1;
+            if *m >= none[i] {
+                wins += 1;
+            } else {
+                eprintln!("[table4] {name} below None at {} ms", slos[i]);
+            }
+        }
+    }
+    println!("content-feature cells at or above the content-agnostic row: {wins}/{cells}");
+}

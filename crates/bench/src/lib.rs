@@ -1,0 +1,41 @@
+//! Experiment harness: shared setup for regenerating every table and
+//! figure of the paper.
+//!
+//! Each table/figure has a binary in `src/bin/` (see `DESIGN.md` for the
+//! index); this library holds the common machinery: dataset construction,
+//! offline profiling, scheduler training, and run bookkeeping.
+//!
+//! Binaries accept an optional scale argument (`small` | `paper`,
+//! default `paper`): `small` completes in seconds for smoke-testing,
+//! `paper` runs the full configuration used in `EXPERIMENTS.md`. Always
+//! build with `--release`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod suite;
+
+pub use suite::{ExperimentScale, Suite};
+
+/// Parses the scale from command-line args (position 1), defaulting to
+/// [`ExperimentScale::Paper`].
+pub fn scale_from_args() -> ExperimentScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("small") => ExperimentScale::Small,
+        Some("paper") | None => ExperimentScale::Paper,
+        Some(other) => {
+            eprintln!("unknown scale '{other}', expected 'small' or 'paper'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Formats an mAP-or-failure cell the way Table 2 does: the accuracy when
+/// the P95 latency met the SLO, "F" otherwise.
+pub fn map_cell(map_pct: f64, p95_ms: f64, slo_ms: f64) -> String {
+    if p95_ms <= slo_ms {
+        format!("{map_pct:.1}")
+    } else {
+        "F".to_string()
+    }
+}

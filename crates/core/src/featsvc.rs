@@ -1,0 +1,188 @@
+//! Runtime feature extraction with per-frame raster caching.
+
+use std::collections::HashMap;
+
+use lr_features::{cpop, hoc, hog, DeepExtractors, FeatureKind, LightFeatures};
+use lr_video::raster::{rasterize, DEFAULT_RASTER_SIZE};
+use lr_video::{BBox, RgbFrame, Video};
+
+/// Extracts content features from video frames.
+///
+/// Rasterization (the most expensive real computation) is cached per
+/// `(video seed, frame index)`; the cache is bounded and cleared wholesale
+/// when full — experiments stream videos in order, so eviction hygiene is
+/// not worth the complexity.
+///
+/// Note that *virtual* extraction latencies are charged by the scheduler
+/// from the Table 1 cost table, not here; this service only computes the
+/// feature values.
+#[derive(Debug)]
+pub struct FeatureService {
+    deep: DeepExtractors,
+    raster_size: usize,
+    cache: HashMap<(u64, u32), RgbFrame>,
+    max_cache: usize,
+}
+
+impl Default for FeatureService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FeatureService {
+    /// Creates a service with the default 64x64 raster.
+    pub fn new() -> Self {
+        Self::with_raster_size(DEFAULT_RASTER_SIZE)
+    }
+
+    /// Creates a service with a custom raster edge length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raster_size` is below the HOG minimum (16).
+    pub fn with_raster_size(raster_size: usize) -> Self {
+        assert!(raster_size >= 16, "raster too small: {raster_size}");
+        Self {
+            deep: DeepExtractors::new(),
+            raster_size,
+            cache: HashMap::new(),
+            max_cache: 2048,
+        }
+    }
+
+    /// The configured raster edge length.
+    pub fn raster_size(&self) -> usize {
+        self.raster_size
+    }
+
+    /// Rasterizes (or fetches from cache) a frame of a video.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_idx` is out of range.
+    pub fn raster(&mut self, video: &Video, frame_idx: usize) -> &RgbFrame {
+        assert!(frame_idx < video.len(), "frame {frame_idx} out of range");
+        let key = (video.spec.seed, frame_idx as u32);
+        if self.cache.len() >= self.max_cache && !self.cache.contains_key(&key) {
+            self.cache.clear();
+        }
+        let size = self.raster_size;
+        self.cache
+            .entry(key)
+            .or_insert_with(|| rasterize(&video.frames[frame_idx], &video.style, size))
+    }
+
+    /// The light feature vector for a frame, given the boxes the kernel
+    /// currently believes in.
+    pub fn light(&self, video: &Video, frame_idx: usize, boxes: &[BBox]) -> Vec<f32> {
+        let truth = &video.frames[frame_idx];
+        LightFeatures::from_boxes(truth.width, truth.height, boxes).to_vec()
+    }
+
+    /// Extracts a heavy content feature from a frame.
+    ///
+    /// CPoP is assembled from detector proposal logits, which the caller
+    /// must supply (`proposal_logits`); other features come from the
+    /// raster. Returns `None` for [`FeatureKind::CPoP`] without logits and
+    /// for [`FeatureKind::Light`] (use [`Self::light`]).
+    pub fn extract_heavy(
+        &mut self,
+        kind: FeatureKind,
+        video: &Video,
+        frame_idx: usize,
+        proposal_logits: Option<&[Vec<f32>]>,
+    ) -> Option<Vec<f32>> {
+        match kind {
+            FeatureKind::Light => None,
+            FeatureKind::HoC => Some(hoc::extract(self.raster(video, frame_idx))),
+            FeatureKind::Hog => Some(hog::extract(self.raster(video, frame_idx))),
+            FeatureKind::ResNet50 => {
+                let raster = self.raster(video, frame_idx).clone();
+                Some(self.deep.resnet50(&raster))
+            }
+            FeatureKind::MobileNetV2 => {
+                let raster = self.raster(video, frame_idx).clone();
+                Some(self.deep.mobilenetv2(&raster))
+            }
+            FeatureKind::CPoP => proposal_logits.map(cpop::cpop_vector),
+        }
+    }
+
+    /// The dimensionality a heavy feature has under this service's raster
+    /// size (HOG scales with raster size; others are fixed).
+    pub fn feature_dim(&self, kind: FeatureKind) -> usize {
+        match kind {
+            FeatureKind::Hog => hog::dim_for(self.raster_size),
+            other => other.cost().dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_video::VideoSpec;
+
+    fn video() -> Video {
+        Video::generate(VideoSpec {
+            id: 0,
+            seed: 101,
+            width: 640.0,
+            height: 480.0,
+            num_frames: 12,
+        })
+    }
+
+    #[test]
+    fn raster_is_cached() {
+        let v = video();
+        let mut svc = FeatureService::new();
+        let a = svc.raster(&v, 3).clone();
+        let b = svc.raster(&v, 3).clone();
+        assert_eq!(a, b);
+        assert_eq!(svc.cache.len(), 1);
+    }
+
+    #[test]
+    fn all_heavy_features_have_expected_dims() {
+        let v = video();
+        let mut svc = FeatureService::new();
+        let logits = vec![vec![0.0f32; 31]; 3];
+        for kind in lr_features::HEAVY_FEATURE_KINDS {
+            let f = svc
+                .extract_heavy(kind, &v, 0, Some(&logits))
+                .unwrap_or_else(|| panic!("{kind:?} failed"));
+            assert_eq!(f.len(), svc.feature_dim(kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn cpop_without_logits_is_none() {
+        let v = video();
+        let mut svc = FeatureService::new();
+        assert!(svc.extract_heavy(FeatureKind::CPoP, &v, 0, None).is_none());
+    }
+
+    #[test]
+    fn light_features_reflect_boxes() {
+        let v = video();
+        let svc = FeatureService::new();
+        let empty = svc.light(&v, 0, &[]);
+        let boxes = [BBox::new(0.0, 0.0, 64.0, 48.0)];
+        let one = svc.light(&v, 0, &boxes);
+        assert_eq!(empty.len(), 4);
+        assert!(one[2] > empty[2], "object count dimension must grow");
+    }
+
+    #[test]
+    fn cache_clears_when_full_instead_of_growing() {
+        let v = video();
+        let mut svc = FeatureService::new();
+        svc.max_cache = 4;
+        for i in 0..12 {
+            let _ = svc.raster(&v, i);
+        }
+        assert!(svc.cache.len() <= 4 + 1);
+    }
+}

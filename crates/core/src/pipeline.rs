@@ -1,0 +1,409 @@
+//! The online streaming loop: scheduler + MBEK + device + evaluation.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use lr_device::switching::OnlineSwitchSampler;
+use lr_device::{DeviceKind, DeviceSim};
+use lr_eval::{LatencyStats, MapAccumulator};
+use lr_video::{BBox, Video};
+
+use crate::featsvc::FeatureService;
+use crate::offline::{to_gt_boxes, to_pred_boxes};
+use crate::scheduler::{Policy, Scheduler, TrainedScheduler};
+
+/// Configuration of one online run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Board to simulate.
+    pub device: DeviceKind,
+    /// GPU contention percentage (the paper evaluates 0 and 50).
+    pub contention_pct: f64,
+    /// Latency SLO in milliseconds (P95 target).
+    pub slo_ms: f64,
+    /// Run seed.
+    pub seed: u64,
+    /// Preheat all branches before the run (the paper preloads and
+    /// preheats every branch; disable to expose the cold-miss switching
+    /// outliers of Figure 5(b)).
+    pub preheat: bool,
+    /// Fixed per-frame pipeline overhead charged as-is (ApproxDet's
+    /// legacy Python/TF pipeline; 0 for everything else).
+    pub fixed_overhead_ms_per_frame: f64,
+    /// Whether the scheduler's latency model is told about that overhead.
+    pub overhead_known_to_scheduler: bool,
+    /// Kernel latency multiplier (implementation inefficiency).
+    pub kernel_latency_factor: f64,
+    /// Whether the scheduler adapts its latency model online (contention
+    /// awareness). SSD+/YOLO+ are not contention-adaptive.
+    pub contention_adaptive: bool,
+}
+
+impl RunConfig {
+    /// A clean LiteReconfig run.
+    pub fn clean(device: DeviceKind, contention_pct: f64, slo_ms: f64, seed: u64) -> Self {
+        Self {
+            device,
+            contention_pct,
+            slo_ms,
+            seed,
+            preheat: true,
+            fixed_overhead_ms_per_frame: 0.0,
+            overhead_known_to_scheduler: false,
+            kernel_latency_factor: 1.0,
+            contention_adaptive: true,
+        }
+    }
+}
+
+/// Where the virtual time of a run went.
+#[derive(Debug, Clone, Default)]
+pub struct Breakdown {
+    /// Detector (GPU) milliseconds.
+    pub detector_ms: f64,
+    /// Tracker (CPU) milliseconds.
+    pub tracker_ms: f64,
+    /// Scheduler modeling milliseconds (features, models, solver).
+    pub scheduler_ms: f64,
+    /// Branch-switching milliseconds.
+    pub switch_ms: f64,
+    /// Fixed pipeline overhead milliseconds.
+    pub overhead_ms: f64,
+    /// Frames processed.
+    pub frames: usize,
+}
+
+impl Breakdown {
+    /// Total milliseconds across components.
+    pub fn total_ms(&self) -> f64 {
+        self.detector_ms + self.tracker_ms + self.scheduler_ms + self.switch_ms + self.overhead_ms
+    }
+
+    /// Mean per-frame cost of a component, as a fraction of the SLO
+    /// (Figure 3's y-axis).
+    pub fn fraction_of_slo(&self, component_ms: f64, slo_ms: f64) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        component_ms / self.frames as f64 / slo_ms
+    }
+}
+
+/// One recorded branch switch.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchEvent {
+    /// Source branch key (0 when switching from the unconfigured state).
+    pub src_key: u64,
+    /// Destination branch key.
+    pub dst_key: u64,
+    /// Sampled switching cost in ms (before device scaling).
+    pub cost_ms: f64,
+}
+
+/// The outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// mAP over all frames of all videos (0..1).
+    pub map: f64,
+    /// Per-frame latency samples (GoF-amortized, as the paper reports).
+    pub latency: LatencyStats,
+    /// Component breakdown.
+    pub breakdown: Breakdown,
+    /// Distinct branch keys executed (Figure 4's branch coverage).
+    pub branches_used: HashSet<u64>,
+    /// Decision counts per branch key.
+    pub branch_decisions: std::collections::HashMap<u64, usize>,
+    /// All branch switches with their sampled costs (Figure 5).
+    pub switches: Vec<SwitchEvent>,
+    /// Total scheduling decisions.
+    pub decisions: usize,
+    /// Decisions where no branch satisfied the constraint.
+    pub infeasible_decisions: usize,
+}
+
+impl RunResult {
+    /// mAP in percent.
+    pub fn map_pct(&self) -> f64 {
+        self.map * 100.0
+    }
+
+    /// True if the 95th-percentile latency met the SLO.
+    pub fn meets_slo(&self, slo_ms: f64) -> bool {
+        self.latency.p95() <= slo_ms
+    }
+}
+
+/// Runs an adaptive protocol (any LiteReconfig variant, ApproxDet, SSD+,
+/// YOLO+) over a set of videos.
+pub fn run_adaptive(
+    videos: &[Video],
+    trained: Arc<TrainedScheduler>,
+    policy: Policy,
+    cfg: &RunConfig,
+    svc: &mut FeatureService,
+) -> RunResult {
+    let mut device = DeviceSim::new(cfg.device, cfg.contention_pct, cfg.seed);
+    let mut mbek =
+        lr_kernels::Mbek::new(trained.family).with_latency_factor(cfg.kernel_latency_factor);
+    let mut scheduler = Scheduler::new(trained.clone(), policy, cfg.slo_ms);
+    if !cfg.contention_adaptive {
+        scheduler = scheduler.with_frozen_latency_model();
+    }
+    if cfg.overhead_known_to_scheduler {
+        scheduler = scheduler.with_known_overhead(cfg.fixed_overhead_ms_per_frame);
+    }
+    let mut sampler = OnlineSwitchSampler::new(trained.switching);
+    if cfg.preheat {
+        for b in &trained.catalog {
+            sampler.preheat(b.key());
+        }
+    }
+
+    let mut acc = MapAccumulator::new();
+    let mut latency = LatencyStats::new();
+    let mut breakdown = Breakdown::default();
+    let mut branches_used = HashSet::new();
+    let mut branch_decisions: std::collections::HashMap<u64, usize> =
+        std::collections::HashMap::new();
+    let mut switches = Vec::new();
+    let mut decisions = 0usize;
+    let mut infeasible = 0usize;
+
+    for video in videos {
+        scheduler.reset_stream();
+        let mut boxes: Vec<BBox> = Vec::new();
+        let mut t = 0usize;
+        while t < video.len() {
+            // Scheduler decision (all costs charged inside).
+            let before = device.now_ms();
+            let decision = scheduler.decide(video, t, &boxes, svc, &mut device);
+            let sched_ms = device.now_ms() - before;
+            decisions += 1;
+            if !decision.feasible {
+                infeasible += 1;
+            }
+
+            // Branch switch if needed.
+            let mut switch_ms = 0.0;
+            let dst_key = trained.catalog[decision.branch_idx].key();
+            let need_switch = scheduler.current_branch() != Some(decision.branch_idx)
+                || mbek.branch().is_none();
+            if need_switch {
+                let src_idx = scheduler.current_branch();
+                let src_ms = src_idx.map_or(80.0, |i| trained.det_inference_ms[i]);
+                let src_key = src_idx.map_or(0, |i| trained.catalog[i].key());
+                let cost = sampler.sample_ms(
+                    src_ms,
+                    trained.det_inference_ms[decision.branch_idx],
+                    dst_key,
+                    device.rng(),
+                );
+                switch_ms =
+                    device.charge_fixed(cost * device.profile().gpu_speed_factor);
+                switches.push(SwitchEvent {
+                    src_key,
+                    dst_key,
+                    cost_ms: cost,
+                });
+                mbek.set_branch(trained.catalog[decision.branch_idx]);
+                scheduler.commit_branch(decision.branch_idx);
+            }
+            branches_used.insert(dst_key);
+            *branch_decisions.entry(dst_key).or_insert(0) += 1;
+
+            // Light features used for the latency observation must match
+            // what the scheduler saw.
+            let light = svc.light(video, t, &boxes);
+
+            // Execute the GoF.
+            let branch = trained.catalog[decision.branch_idx];
+            let end = (t + branch.gof_size.max(1) as usize).min(video.len());
+            let frames = &video.frames[t..end];
+            let result = mbek.run_gof(frames, &mut device);
+
+            // Fixed pipeline overhead per frame.
+            let mut overhead_ms = 0.0;
+            if cfg.fixed_overhead_ms_per_frame > 0.0 {
+                for _ in frames {
+                    overhead_ms += device.charge_fixed(cfg.fixed_overhead_ms_per_frame);
+                }
+            }
+
+            // Accounting: GoF-amortized per-frame latency samples.
+            let gof_total = sched_ms + switch_ms + result.kernel_ms() + overhead_ms;
+            let per_frame = gof_total / frames.len() as f64;
+            for (truth, dets) in frames.iter().zip(result.per_frame.iter()) {
+                acc.add_frame(&to_gt_boxes(truth), &to_pred_boxes(dets));
+                latency.record(per_frame);
+            }
+            breakdown.detector_ms += result.detector_ms;
+            breakdown.tracker_ms += result.tracker_ms;
+            breakdown.scheduler_ms += sched_ms;
+            breakdown.switch_ms += switch_ms;
+            breakdown.overhead_ms += overhead_ms;
+            breakdown.frames += frames.len();
+
+            // Feed observations back to the scheduler.
+            let n = frames.len() as f64;
+            scheduler.observe_latency(
+                decision.branch_idx,
+                &light,
+                result.detector_ms / n,
+                result.tracker_ms / n,
+            );
+            scheduler.record_detection(t, result.first_frame_output.proposal_logits.clone());
+            // The light features of the next decision come from the most
+            // recent *detector* output — matching the offline protocol,
+            // where they were collected from reference detections (tracked
+            // boxes under- and mis-count objects on weak branches, which
+            // would skew the models' input distribution).
+            boxes = result
+                .first_frame_output
+                .detections
+                .iter()
+                .map(|det| det.bbox)
+                .collect();
+            t = end;
+        }
+    }
+
+    RunResult {
+        map: acc.finalize(0.5).map,
+        latency,
+        breakdown,
+        branches_used,
+        branch_decisions,
+        switches,
+        decisions,
+        infeasible_decisions: infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featsvc::FeatureService;
+    use crate::offline::{profile_videos, OfflineConfig};
+    use crate::trainer::{train_scheduler, TrainConfig};
+    use lr_kernels::branch::small_catalog;
+    use lr_kernels::DetectorFamily;
+    use lr_video::VideoSpec;
+
+    fn setup() -> (Arc<TrainedScheduler>, Vec<Video>, FeatureService) {
+        let train_videos: Vec<Video> = (0..2)
+            .map(|i| {
+                Video::generate(VideoSpec {
+                    id: i,
+                    seed: 600 + i as u64,
+                    width: 640.0,
+                    height: 480.0,
+                    num_frames: 80,
+                })
+            })
+            .collect();
+        let mut svc = FeatureService::new();
+        let cfg = OfflineConfig {
+            snippet_len: 40,
+            catalog: small_catalog(),
+            family: DetectorFamily::FasterRcnn,
+            reference_detector: lr_kernels::DetectorConfig::new(576, 100),
+            seed: 11,
+        };
+        let ds = profile_videos(&train_videos, &cfg, &mut svc);
+        let trained = Arc::new(train_scheduler(
+            &ds,
+            DetectorFamily::FasterRcnn,
+            &TrainConfig::tiny(),
+        ));
+        let val_videos: Vec<Video> = (0..2)
+            .map(|i| {
+                Video::generate(VideoSpec {
+                    id: 100 + i,
+                    seed: 700 + i as u64,
+                    width: 640.0,
+                    height: 480.0,
+                    num_frames: 100,
+                })
+            })
+            .collect();
+        (trained, val_videos, svc)
+    }
+
+    #[test]
+    fn run_covers_every_frame() {
+        let (trained, videos, mut svc) = setup();
+        let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, 100.0, 1);
+        let r = run_adaptive(&videos, trained, Policy::MinCost, &cfg, &mut svc);
+        let total_frames: usize = videos.iter().map(Video::len).sum();
+        assert_eq!(r.breakdown.frames, total_frames);
+        assert_eq!(r.latency.count(), total_frames);
+        assert!(r.map > 0.0, "mAP must be non-trivial, got {}", r.map);
+        assert!(r.decisions > 0);
+    }
+
+    #[test]
+    fn loose_slo_meets_latency_objective() {
+        let (trained, videos, mut svc) = setup();
+        let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, 100.0, 2);
+        let r = run_adaptive(&videos, trained, Policy::MinCost, &cfg, &mut svc);
+        assert!(
+            r.meets_slo(100.0),
+            "P95 {} exceeds 100 ms SLO",
+            r.latency.p95()
+        );
+    }
+
+    #[test]
+    fn contention_adaptive_run_survives_contention() {
+        let (trained, videos, mut svc) = setup();
+        let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 50.0, 100.0, 3);
+        let r = run_adaptive(&videos, trained, Policy::MinCost, &cfg, &mut svc);
+        // With adaptation the P95 should stay within ~the SLO even under
+        // 50% GPU contention (generous 1.2x tolerance for the short test).
+        assert!(
+            r.latency.p95() < 120.0,
+            "P95 {} under contention",
+            r.latency.p95()
+        );
+    }
+
+    #[test]
+    fn breakdown_accounts_for_all_time() {
+        let (trained, videos, mut svc) = setup();
+        let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, 50.0, 4);
+        let r = run_adaptive(&videos, trained, Policy::MinCost, &cfg, &mut svc);
+        let sample_total: f64 = r.latency.mean() * r.latency.count() as f64;
+        assert!(
+            (sample_total - r.breakdown.total_ms()).abs() < 1.0,
+            "samples {} vs breakdown {}",
+            sample_total,
+            r.breakdown.total_ms()
+        );
+    }
+
+    #[test]
+    fn fixed_overhead_inflates_latency() {
+        let (trained, videos, mut svc) = setup();
+        let mut cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, 100.0, 5);
+        let clean = run_adaptive(
+            &videos,
+            trained.clone(),
+            Policy::MinCost,
+            &cfg,
+            &mut svc,
+        );
+        cfg.fixed_overhead_ms_per_frame = 48.0;
+        cfg.overhead_known_to_scheduler = true;
+        let heavy = run_adaptive(&videos, trained, Policy::MinCost, &cfg, &mut svc);
+        assert!(heavy.latency.mean() > clean.latency.mean() + 40.0);
+    }
+
+    #[test]
+    fn branch_coverage_is_recorded() {
+        let (trained, videos, mut svc) = setup();
+        let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, 50.0, 6);
+        let r = run_adaptive(&videos, trained, Policy::MinCost, &cfg, &mut svc);
+        assert!(!r.branches_used.is_empty());
+        assert!(!r.switches.is_empty(), "the first configuration is a switch");
+    }
+}

@@ -1,0 +1,120 @@
+//! The contention generator (CG).
+//!
+//! §6 of the paper: "CG is used as a stand-in for real-world background
+//! workloads... tunable between 0% and 99% GPU contention". The paper
+//! evaluates 0% and 50%. Under g% GPU contention the detector (a GPU
+//! workload) effectively time-shares the GPU with the contender, so its
+//! latency inflates by roughly `1 / (1 - g/100)`; CPU-side work (the
+//! trackers, HoC/HOG extraction) is unaffected.
+
+use rand::Rng;
+
+/// A tunable GPU contention source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionGenerator {
+    /// GPU contention level in percent, `0.0..=99.0`.
+    gpu_level_pct: f64,
+}
+
+impl ContentionGenerator {
+    /// Creates a generator at the given GPU contention percentage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_level_pct` is outside `[0, 99]`.
+    pub fn new(gpu_level_pct: f64) -> Self {
+        assert!(
+            (0.0..=99.0).contains(&gpu_level_pct),
+            "contention level {gpu_level_pct}% outside [0, 99]"
+        );
+        Self { gpu_level_pct }
+    }
+
+    /// No contention.
+    pub fn idle() -> Self {
+        Self::new(0.0)
+    }
+
+    /// The configured level in percent.
+    pub fn gpu_level_pct(&self) -> f64 {
+        self.gpu_level_pct
+    }
+
+    /// The mean slowdown factor applied to GPU ops.
+    pub fn mean_gpu_slowdown(&self) -> f64 {
+        1.0 / (1.0 - self.gpu_level_pct / 100.0)
+    }
+
+    /// Samples an instantaneous GPU slowdown factor.
+    ///
+    /// The contender's activity is bursty, so the instantaneous factor
+    /// jitters around the mean: the op may land in a quiet window (close to
+    /// 1x) or collide with a burst (worse than the mean). Zero contention
+    /// always returns exactly 1.
+    pub fn sample_gpu_slowdown(&self, rng: &mut impl Rng) -> f64 {
+        if self.gpu_level_pct == 0.0 {
+            return 1.0;
+        }
+        let mean = self.mean_gpu_slowdown();
+        // Burstiness: mixture of a quiet window and a collision.
+        let quiet_prob = (1.0 - self.gpu_level_pct / 100.0) * 0.5;
+        if rng.gen::<f64>() < quiet_prob {
+            1.0 + (mean - 1.0) * rng.gen_range(0.0..0.4)
+        } else {
+            mean * rng.gen_range(0.85..1.35)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn idle_contention_is_identity() {
+        let cg = ContentionGenerator::idle();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(cg.sample_gpu_slowdown(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn fifty_percent_roughly_doubles_gpu_time() {
+        let cg = ContentionGenerator::new(50.0);
+        assert!((cg.mean_gpu_slowdown() - 2.0).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| cg.sample_gpu_slowdown(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (1.6..2.4).contains(&mean),
+            "sampled mean slowdown {mean} far from 2x"
+        );
+    }
+
+    #[test]
+    fn slowdown_never_below_one() {
+        let cg = ContentionGenerator::new(80.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(cg.sample_gpu_slowdown(&mut rng) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn higher_levels_mean_higher_slowdown() {
+        assert!(
+            ContentionGenerator::new(80.0).mean_gpu_slowdown()
+                > ContentionGenerator::new(50.0).mean_gpu_slowdown()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 99]")]
+    fn one_hundred_percent_is_rejected() {
+        let _ = ContentionGenerator::new(100.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The device simulator: charges op latencies against the virtual clock.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::clock::VirtualClock;
+use crate::contention::ContentionGenerator;
+use crate::noise::LatencyNoise;
+use crate::profile::{DeviceKind, DeviceProfile};
+
+/// Which execution unit an op runs on. GPU ops are subject to GPU
+/// contention; CPU ops are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpUnit {
+    /// Runs on the mobile GPU (detectors, CNN feature extractors, the
+    /// accuracy-prediction networks).
+    Gpu,
+    /// Runs on the CPU complex (trackers, HoC/HOG extraction, light
+    /// features, the optimization solve).
+    Cpu,
+}
+
+/// A simulated device: profile + contention + noise + clock.
+///
+/// # Examples
+///
+/// ```
+/// use lr_device::{DeviceKind, DeviceSim, OpUnit};
+///
+/// let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 7);
+/// let charged = dev.charge(OpUnit::Gpu, 30.0);
+/// assert!(charged > 0.0);
+/// assert!((dev.now_ms() - charged).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceSim {
+    profile: DeviceProfile,
+    contention: ContentionGenerator,
+    noise: LatencyNoise,
+    clock: VirtualClock,
+    rng: StdRng,
+}
+
+impl DeviceSim {
+    /// Creates a device simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contention_pct` is outside `[0, 99]`.
+    pub fn new(kind: DeviceKind, contention_pct: f64, seed: u64) -> Self {
+        Self {
+            profile: kind.profile(),
+            contention: ContentionGenerator::new(contention_pct),
+            noise: LatencyNoise::default(),
+            clock: VirtualClock::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x0D3B_1CE5),
+        }
+    }
+
+    /// Replaces the latency noise model (tests use [`LatencyNoise::none`]).
+    pub fn with_noise(mut self, noise: LatencyNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Current GPU contention level in percent.
+    pub fn contention_pct(&self) -> f64 {
+        self.contention.gpu_level_pct()
+    }
+
+    /// Changes the contention level mid-run (the paper's CG is toggled
+    /// between experiments).
+    pub fn set_contention_pct(&mut self, pct: f64) {
+        self.contention = ContentionGenerator::new(pct);
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.clock.now_ms()
+    }
+
+    /// Resets the virtual clock (not the RNG) to zero.
+    pub fn reset_clock(&mut self) {
+        self.clock.reset();
+    }
+
+    /// Charges an op with the given TX2-calibrated base latency; advances
+    /// the clock and returns the actual charged milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_tx2_ms` is negative or non-finite.
+    pub fn charge(&mut self, unit: OpUnit, base_tx2_ms: f64) -> f64 {
+        assert!(
+            base_tx2_ms.is_finite() && base_tx2_ms >= 0.0,
+            "invalid base latency: {base_tx2_ms}"
+        );
+        let device_factor = match unit {
+            OpUnit::Gpu => self.profile.gpu_speed_factor,
+            OpUnit::Cpu => self.profile.cpu_speed_factor,
+        };
+        let contention_factor = match unit {
+            OpUnit::Gpu => self.contention.sample_gpu_slowdown(&mut self.rng),
+            OpUnit::Cpu => 1.0,
+        };
+        let noise = self.noise.sample(&mut self.rng);
+        let ms = base_tx2_ms * device_factor * contention_factor * noise;
+        self.clock.advance(ms);
+        ms
+    }
+
+    /// Advances the clock by exactly `ms` (no device, contention, or
+    /// noise factors). Used for costs that are already fully sampled
+    /// (switching outliers) or that do not scale with the silicon
+    /// (interpreter overhead of a legacy pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or non-finite.
+    pub fn charge_fixed(&mut self, ms: f64) -> f64 {
+        self.clock.advance(ms);
+        ms
+    }
+
+    /// The *expected* latency of an op on this device at the current mean
+    /// contention, without noise. Used when profiling offline tables, not
+    /// by the online scheduler (which must learn its latency model from
+    /// observed data).
+    pub fn expected_ms(&self, unit: OpUnit, base_tx2_ms: f64) -> f64 {
+        let device_factor = match unit {
+            OpUnit::Gpu => self.profile.gpu_speed_factor,
+            OpUnit::Cpu => self.profile.cpu_speed_factor,
+        };
+        let contention_factor = match unit {
+            OpUnit::Gpu => self.contention.mean_gpu_slowdown(),
+            OpUnit::Cpu => 1.0,
+        };
+        base_tx2_ms * device_factor * contention_factor
+    }
+
+    /// Access to the device RNG for co-located stochastic processes
+    /// (detection noise shares the device's randomness stream so whole
+    /// experiment runs stay reproducible from one seed).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_advances_clock_by_return_value() {
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 1);
+        let a = dev.charge(OpUnit::Gpu, 10.0);
+        let b = dev.charge(OpUnit::Cpu, 5.0);
+        assert!((dev.now_ms() - (a + b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noiseless_tx2_charge_equals_base() {
+        let mut dev =
+            DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 1).with_noise(LatencyNoise::none());
+        assert_eq!(dev.charge(OpUnit::Gpu, 25.0), 25.0);
+        assert_eq!(dev.charge(OpUnit::Cpu, 25.0), 25.0);
+    }
+
+    #[test]
+    fn xavier_is_faster_than_tx2() {
+        let mut tx2 =
+            DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 1).with_noise(LatencyNoise::none());
+        let mut xv =
+            DeviceSim::new(DeviceKind::AgxXavier, 0.0, 1).with_noise(LatencyNoise::none());
+        assert!(xv.charge(OpUnit::Gpu, 30.0) < tx2.charge(OpUnit::Gpu, 30.0));
+    }
+
+    #[test]
+    fn contention_slows_gpu_but_not_cpu() {
+        let mut dev =
+            DeviceSim::new(DeviceKind::JetsonTx2, 50.0, 2).with_noise(LatencyNoise::none());
+        let n = 2000;
+        let gpu_mean: f64 =
+            (0..n).map(|_| dev.charge(OpUnit::Gpu, 10.0)).sum::<f64>() / n as f64;
+        let cpu_mean: f64 =
+            (0..n).map(|_| dev.charge(OpUnit::Cpu, 10.0)).sum::<f64>() / n as f64;
+        assert!(gpu_mean > 15.0, "gpu mean {gpu_mean} not slowed");
+        assert!((cpu_mean - 10.0).abs() < 1e-9, "cpu affected by contention");
+    }
+
+    #[test]
+    fn expected_ms_reflects_mean_contention() {
+        let dev = DeviceSim::new(DeviceKind::JetsonTx2, 50.0, 3);
+        assert!((dev.expected_ms(OpUnit::Gpu, 10.0) - 20.0).abs() < 1e-9);
+        assert!((dev.expected_ms(OpUnit::Cpu, 10.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_charges() {
+        let run = || {
+            let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 30.0, 9);
+            (0..50)
+                .map(|_| dev.charge(OpUnit::Gpu, 12.0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_clock_keeps_rng_sequence() {
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 4);
+        let _ = dev.charge(OpUnit::Gpu, 10.0);
+        dev.reset_clock();
+        assert_eq!(dev.now_ms(), 0.0);
+    }
+}

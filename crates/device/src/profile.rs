@@ -1,0 +1,93 @@
+//! Device profiles for the two evaluation boards.
+
+/// The embedded board being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// NVIDIA Jetson TX2: 256-core Pascal GPU, 8 GB unified memory.
+    /// All `base_tx2_ms` calibration numbers refer to this board.
+    JetsonTx2,
+    /// NVIDIA Jetson AGX Xavier: 512-core Volta GPU, 32 GB unified memory.
+    /// Roughly 2x the GPU throughput of the TX2 in the paper's workloads
+    /// (LiteReconfig sustains 50 fps there vs 30 fps on the TX2).
+    AgxXavier,
+}
+
+impl DeviceKind {
+    /// Short display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::JetsonTx2 => "TX2",
+            DeviceKind::AgxXavier => "AGX Xavier",
+        }
+    }
+
+    /// The latency SLOs the paper evaluates on this board, in ms.
+    pub fn paper_slos_ms(self) -> [f64; 3] {
+        match self {
+            DeviceKind::JetsonTx2 => [33.3, 50.0, 100.0],
+            DeviceKind::AgxXavier => [20.0, 33.3, 50.0],
+        }
+    }
+
+    /// The full profile for this board.
+    pub fn profile(self) -> DeviceProfile {
+        match self {
+            DeviceKind::JetsonTx2 => DeviceProfile {
+                kind: self,
+                gpu_speed_factor: 1.0,
+                cpu_speed_factor: 1.0,
+                memory_gb: 8.0,
+            },
+            DeviceKind::AgxXavier => DeviceProfile {
+                kind: self,
+                // Volta vs Pascal plus higher clocks: GPU ops run in about
+                // half the time; the Carmel CPU cores are ~30% faster than
+                // the TX2's Denver/A57 complex.
+                gpu_speed_factor: 0.48,
+                cpu_speed_factor: 0.75,
+                memory_gb: 32.0,
+            },
+        }
+    }
+}
+
+/// Speed and capacity parameters of a board.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Which board this is.
+    pub kind: DeviceKind,
+    /// Multiplier applied to TX2-calibrated GPU-op latencies.
+    pub gpu_speed_factor: f64,
+    /// Multiplier applied to TX2-calibrated CPU-op latencies.
+    pub cpu_speed_factor: f64,
+    /// Unified memory capacity in GiB.
+    pub memory_gb: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx2_is_the_calibration_reference() {
+        let p = DeviceKind::JetsonTx2.profile();
+        assert_eq!(p.gpu_speed_factor, 1.0);
+        assert_eq!(p.cpu_speed_factor, 1.0);
+        assert_eq!(p.memory_gb, 8.0);
+    }
+
+    #[test]
+    fn xavier_is_faster_and_bigger() {
+        let tx2 = DeviceKind::JetsonTx2.profile();
+        let xv = DeviceKind::AgxXavier.profile();
+        assert!(xv.gpu_speed_factor < tx2.gpu_speed_factor);
+        assert!(xv.cpu_speed_factor < tx2.cpu_speed_factor);
+        assert!(xv.memory_gb > tx2.memory_gb);
+    }
+
+    #[test]
+    fn paper_slos_match_tables() {
+        assert_eq!(DeviceKind::JetsonTx2.paper_slos_ms(), [33.3, 50.0, 100.0]);
+        assert_eq!(DeviceKind::AgxXavier.paper_slos_ms(), [20.0, 33.3, 50.0]);
+    }
+}

@@ -1,0 +1,347 @@
+//! VOC-style mean average precision.
+
+use std::collections::HashMap;
+
+use lr_video::BBox;
+
+/// A ground-truth box for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtBox {
+    /// Class index.
+    pub class: usize,
+    /// Ground-truth bounding box.
+    pub bbox: BBox,
+}
+
+/// A predicted box for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredBox {
+    /// Predicted class index.
+    pub class: usize,
+    /// Predicted bounding box.
+    pub bbox: BBox,
+    /// Confidence score.
+    pub score: f32,
+}
+
+/// Result of an mAP evaluation.
+#[derive(Debug, Clone)]
+pub struct MapResult {
+    /// Mean AP over classes with at least one ground-truth instance.
+    pub map: f64,
+    /// Per-class AP, keyed by class index (only classes with ground
+    /// truth).
+    pub per_class_ap: HashMap<usize, f64>,
+    /// Total ground-truth instances evaluated.
+    pub total_gt: usize,
+    /// Total predictions evaluated.
+    pub total_pred: usize,
+}
+
+/// One prediction record accumulated for a class.
+#[derive(Debug, Clone, Copy)]
+struct PredRecord {
+    frame: u64,
+    score: f32,
+    bbox: BBox,
+}
+
+/// Streaming accumulator: feed ground truth and predictions frame by
+/// frame, then finalize into a [`MapResult`].
+///
+/// # Examples
+///
+/// ```
+/// use lr_eval::{GtBox, MapAccumulator, PredBox};
+/// use lr_video::BBox;
+///
+/// let mut acc = MapAccumulator::new();
+/// let gt = [GtBox { class: 0, bbox: BBox::new(0.0, 0.0, 10.0, 10.0) }];
+/// let pred = [PredBox { class: 0, bbox: BBox::new(0.5, 0.0, 10.0, 10.0), score: 0.9 }];
+/// acc.add_frame(&gt, &pred);
+/// let result = acc.finalize(0.5);
+/// assert!((result.map - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MapAccumulator {
+    next_frame: u64,
+    // Per class: ground-truth boxes per frame.
+    gt: HashMap<usize, HashMap<u64, Vec<BBox>>>,
+    preds: HashMap<usize, Vec<PredRecord>>,
+    total_gt: usize,
+    total_pred: usize,
+}
+
+impl MapAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one frame's ground truth and predictions.
+    pub fn add_frame(&mut self, gt: &[GtBox], preds: &[PredBox]) {
+        let frame = self.next_frame;
+        self.next_frame += 1;
+        for g in gt {
+            self.gt
+                .entry(g.class)
+                .or_default()
+                .entry(frame)
+                .or_default()
+                .push(g.bbox);
+            self.total_gt += 1;
+        }
+        for p in preds {
+            self.preds.entry(p.class).or_default().push(PredRecord {
+                frame,
+                score: p.score,
+                bbox: p.bbox,
+            });
+            self.total_pred += 1;
+        }
+    }
+
+    /// Number of frames accumulated so far.
+    pub fn frames(&self) -> u64 {
+        self.next_frame
+    }
+
+    /// Computes mAP at the given IoU threshold (the paper uses 0.5).
+    ///
+    /// Classes with ground truth but no predictions score AP 0; classes
+    /// with predictions but no ground truth are ignored (standard VOC).
+    /// An evaluation with no ground truth at all yields mAP 0.
+    pub fn finalize(&self, iou_threshold: f32) -> MapResult {
+        let mut per_class_ap = HashMap::new();
+        for (&class, gt_frames) in &self.gt {
+            let npos: usize = gt_frames.values().map(Vec::len).sum();
+            let preds = self.preds.get(&class).cloned().unwrap_or_default();
+            let ap = average_precision(gt_frames, preds, npos, iou_threshold);
+            per_class_ap.insert(class, ap);
+        }
+        // Sum in sorted class order: summing in HashMap iteration order
+        // would make the last bits of mAP depend on the map's random
+        // state, breaking bit-exact reproducibility across runs.
+        let map = if per_class_ap.is_empty() {
+            0.0
+        } else {
+            let mut classes: Vec<usize> = per_class_ap.keys().copied().collect();
+            classes.sort_unstable();
+            classes.iter().map(|c| per_class_ap[c]).sum::<f64>() / per_class_ap.len() as f64
+        };
+        MapResult {
+            map,
+            per_class_ap,
+            total_gt: self.total_gt,
+            total_pred: self.total_pred,
+        }
+    }
+}
+
+/// AP for one class via greedy matching and all-point interpolation.
+fn average_precision(
+    gt_frames: &HashMap<u64, Vec<BBox>>,
+    mut preds: Vec<PredRecord>,
+    npos: usize,
+    iou_threshold: f32,
+) -> f64 {
+    if npos == 0 {
+        return 0.0;
+    }
+    preds.sort_by(|a, b| b.score.total_cmp(&a.score));
+    // Per frame, which GT boxes are already matched.
+    let mut matched: HashMap<u64, Vec<bool>> = gt_frames
+        .iter()
+        .map(|(&f, boxes)| (f, vec![false; boxes.len()]))
+        .collect();
+
+    let mut tp = Vec::with_capacity(preds.len());
+    for p in &preds {
+        let mut best_iou = 0.0f32;
+        let mut best_idx = None;
+        if let Some(boxes) = gt_frames.get(&p.frame) {
+            for (i, g) in boxes.iter().enumerate() {
+                let iou = p.bbox.iou(g);
+                if iou > best_iou {
+                    best_iou = iou;
+                    best_idx = Some(i);
+                }
+            }
+        }
+        let is_tp = match best_idx {
+            Some(i) if best_iou >= iou_threshold => {
+                let flags = matched.get_mut(&p.frame).expect("frame flags");
+                if flags[i] {
+                    false // Duplicate detection of an already-matched GT.
+                } else {
+                    flags[i] = true;
+                    true
+                }
+            }
+            _ => false,
+        };
+        tp.push(is_tp);
+    }
+
+    // Precision-recall curve and all-point interpolated area.
+    let mut cum_tp = 0usize;
+    let mut recalls = Vec::with_capacity(tp.len());
+    let mut precisions = Vec::with_capacity(tp.len());
+    for (i, &is_tp) in tp.iter().enumerate() {
+        if is_tp {
+            cum_tp += 1;
+        }
+        recalls.push(cum_tp as f64 / npos as f64);
+        precisions.push(cum_tp as f64 / (i + 1) as f64);
+    }
+    // Monotone precision envelope (right to left).
+    for i in (0..precisions.len().saturating_sub(1)).rev() {
+        if precisions[i] < precisions[i + 1] {
+            precisions[i] = precisions[i + 1];
+        }
+    }
+    // Integrate over recall steps.
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for (&r, &p) in recalls.iter().zip(precisions.iter()) {
+        if r > prev_recall {
+            ap += (r - prev_recall) * p;
+            prev_recall = r;
+        }
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(class: usize, x: f32) -> GtBox {
+        GtBox {
+            class,
+            bbox: BBox::new(x, 0.0, 10.0, 10.0),
+        }
+    }
+
+    fn pred(class: usize, x: f32, score: f32) -> PredBox {
+        PredBox {
+            class,
+            bbox: BBox::new(x, 0.0, 10.0, 10.0),
+            score,
+        }
+    }
+
+    #[test]
+    fn perfect_detection_gives_map_one() {
+        let mut acc = MapAccumulator::new();
+        acc.add_frame(&[gt(0, 0.0), gt(1, 50.0)], &[pred(0, 0.0, 0.9), pred(1, 50.0, 0.8)]);
+        let r = acc.finalize(0.5);
+        assert!((r.map - 1.0).abs() < 1e-9);
+        assert_eq!(r.per_class_ap.len(), 2);
+    }
+
+    #[test]
+    fn no_predictions_gives_map_zero() {
+        let mut acc = MapAccumulator::new();
+        acc.add_frame(&[gt(0, 0.0)], &[]);
+        assert_eq!(acc.finalize(0.5).map, 0.0);
+    }
+
+    #[test]
+    fn wrong_class_is_a_miss() {
+        let mut acc = MapAccumulator::new();
+        acc.add_frame(&[gt(0, 0.0)], &[pred(1, 0.0, 0.9)]);
+        assert_eq!(acc.finalize(0.5).map, 0.0);
+    }
+
+    #[test]
+    fn poorly_localized_box_is_a_miss() {
+        let mut acc = MapAccumulator::new();
+        // IoU of (0,0,10,10) and (8,0,10,10) is 2/18 = 0.11 < 0.5.
+        acc.add_frame(&[gt(0, 0.0)], &[pred(0, 8.0, 0.9)]);
+        assert_eq!(acc.finalize(0.5).map, 0.0);
+    }
+
+    #[test]
+    fn duplicate_detections_count_once() {
+        let mut acc = MapAccumulator::new();
+        acc.add_frame(&[gt(0, 0.0)], &[pred(0, 0.0, 0.9), pred(0, 0.5, 0.8)]);
+        let r = acc.finalize(0.5);
+        // One TP at rank 1, one FP at rank 2: AP = 1.0 (recall saturates
+        // at the first prediction).
+        assert!((r.map - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positive_before_tp_halves_precision() {
+        let mut acc = MapAccumulator::new();
+        // Higher-scored FP first, then the TP: precision at recall 1 is
+        // 1/2, and AP = 0.5.
+        acc.add_frame(&[gt(0, 0.0)], &[pred(0, 40.0, 0.9), pred(0, 0.0, 0.8)]);
+        let r = acc.finalize(0.5);
+        assert!((r.map - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_one_of_two_objects_gives_half_recall() {
+        let mut acc = MapAccumulator::new();
+        acc.add_frame(&[gt(0, 0.0), gt(0, 50.0)], &[pred(0, 0.0, 0.9)]);
+        let r = acc.finalize(0.5);
+        assert!((r.map - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classes_without_gt_are_ignored() {
+        let mut acc = MapAccumulator::new();
+        acc.add_frame(&[gt(0, 0.0)], &[pred(0, 0.0, 0.9), pred(5, 70.0, 0.95)]);
+        let r = acc.finalize(0.5);
+        assert!((r.map - 1.0).abs() < 1e-9);
+        assert!(!r.per_class_ap.contains_key(&5));
+    }
+
+    #[test]
+    fn matching_is_per_frame() {
+        let mut acc = MapAccumulator::new();
+        // GT only on frame 0; a prediction on frame 1 cannot match it.
+        acc.add_frame(&[gt(0, 0.0)], &[]);
+        acc.add_frame(&[], &[pred(0, 0.0, 0.9)]);
+        assert_eq!(acc.finalize(0.5).map, 0.0);
+    }
+
+    #[test]
+    fn higher_iou_threshold_is_stricter() {
+        let mut acc = MapAccumulator::new();
+        // Offset box: IoU = (10-3)/(2*10*10/10 - 7) -> compute: boxes
+        // (0..10) vs (3..13): inter 7*10=70, union 130, IoU ~0.538.
+        acc.add_frame(&[gt(0, 0.0)], &[pred(0, 3.0, 0.9)]);
+        assert!(acc.finalize(0.5).map > 0.9);
+        assert_eq!(acc.finalize(0.6).map, 0.0);
+    }
+
+    #[test]
+    fn empty_accumulator_yields_zero() {
+        let acc = MapAccumulator::new();
+        let r = acc.finalize(0.5);
+        assert_eq!(r.map, 0.0);
+        assert_eq!(r.total_gt, 0);
+    }
+
+    /// AP must be monotonically non-increasing as detections lose
+    /// localization quality.
+    #[test]
+    fn ap_decreases_with_jitter() {
+        let eval_with_offset = |off: f32| {
+            let mut acc = MapAccumulator::new();
+            for i in 0..50 {
+                let x = i as f32 * 20.0;
+                acc.add_frame(
+                    &[gt(0, x)],
+                    &[pred(0, x + off, 0.9 - i as f32 * 0.001)],
+                );
+            }
+            acc.finalize(0.5).map
+        };
+        assert!(eval_with_offset(0.0) >= eval_with_offset(2.0));
+        assert!(eval_with_offset(2.0) >= eval_with_offset(6.0));
+    }
+}

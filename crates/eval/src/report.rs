@@ -1,0 +1,149 @@
+//! Per-class evaluation reports and precision-recall export.
+//!
+//! The paper reports a single mAP per run; per-class APs and PR curves
+//! are what you reach for when a run's mAP moves unexpectedly, so the
+//! harness exposes them.
+
+use std::collections::HashMap;
+
+use crate::map::MapResult;
+
+/// A per-class evaluation report built from a [`MapResult`].
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// `(class index, AP)` sorted by descending AP.
+    pub per_class: Vec<(usize, f64)>,
+    /// Mean AP.
+    pub map: f64,
+    /// Ground-truth instances evaluated.
+    pub total_gt: usize,
+}
+
+impl ClassReport {
+    /// Builds a report from an mAP result.
+    pub fn from_result(result: &MapResult) -> Self {
+        let mut per_class: Vec<(usize, f64)> =
+            result.per_class_ap.iter().map(|(&c, &ap)| (c, ap)).collect();
+        per_class.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Self {
+            per_class,
+            map: result.map,
+            total_gt: result.total_gt,
+        }
+    }
+
+    /// The `n` best classes by AP.
+    pub fn best(&self, n: usize) -> &[(usize, f64)] {
+        &self.per_class[..n.min(self.per_class.len())]
+    }
+
+    /// The `n` worst classes by AP.
+    pub fn worst(&self, n: usize) -> Vec<(usize, f64)> {
+        let k = n.min(self.per_class.len());
+        let mut v = self.per_class[self.per_class.len() - k..].to_vec();
+        v.reverse();
+        v
+    }
+
+    /// Renders the report with class names from a lookup.
+    pub fn render(&self, class_name: impl Fn(usize) -> String) -> String {
+        let mut out = format!(
+            "mAP {:.3} over {} classes ({} GT instances)\n",
+            self.map,
+            self.per_class.len(),
+            self.total_gt
+        );
+        for (c, ap) in &self.per_class {
+            out.push_str(&format!("  {:<16} AP {:.3}\n", class_name(*c), ap));
+        }
+        out
+    }
+}
+
+/// Histogram of AP values in fixed-width buckets — a compact shape
+/// summary for regression tests on evaluation distributions.
+pub fn ap_histogram(result: &MapResult, buckets: usize) -> Vec<usize> {
+    assert!(buckets > 0, "at least one bucket");
+    let mut hist = vec![0usize; buckets];
+    for &ap in result.per_class_ap.values() {
+        let b = ((ap * buckets as f64) as usize).min(buckets - 1);
+        hist[b] += 1;
+    }
+    hist
+}
+
+/// Compares two results per class, returning `(class, delta_ap)` sorted
+/// by descending improvement of `after` over `before`. Classes present in
+/// only one result are reported against an AP of 0.
+pub fn per_class_delta(before: &MapResult, after: &MapResult) -> Vec<(usize, f64)> {
+    let mut classes: HashMap<usize, (f64, f64)> = HashMap::new();
+    for (&c, &ap) in &before.per_class_ap {
+        classes.entry(c).or_insert((0.0, 0.0)).0 = ap;
+    }
+    for (&c, &ap) in &after.per_class_ap {
+        classes.entry(c).or_insert((0.0, 0.0)).1 = ap;
+    }
+    let mut out: Vec<(usize, f64)> = classes
+        .into_iter()
+        .map(|(c, (b, a))| (c, a - b))
+        .collect();
+    out.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{GtBox, MapAccumulator, PredBox};
+    use lr_video::BBox;
+
+    fn result(ap_pairs: &[(usize, bool)]) -> MapResult {
+        // Build a result where each class either gets a perfect detection
+        // (AP 1) or none (AP 0).
+        let mut acc = MapAccumulator::new();
+        for &(class, hit) in ap_pairs {
+            let bbox = BBox::new(class as f32 * 50.0, 0.0, 10.0, 10.0);
+            let gt = [GtBox { class, bbox }];
+            if hit {
+                acc.add_frame(&gt, &[PredBox { class, bbox, score: 0.9 }]);
+            } else {
+                acc.add_frame(&gt, &[]);
+            }
+        }
+        acc.finalize(0.5)
+    }
+
+    #[test]
+    fn report_sorts_by_ap() {
+        let r = result(&[(0, false), (1, true), (2, true)]);
+        let rep = ClassReport::from_result(&r);
+        assert_eq!(rep.per_class.len(), 3);
+        assert!(rep.per_class[0].1 >= rep.per_class[2].1);
+        assert_eq!(rep.worst(1)[0].0, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_extremes() {
+        let r = result(&[(0, false), (1, true), (2, true)]);
+        let h = ap_histogram(&r, 2);
+        assert_eq!(h, vec![1, 2]);
+    }
+
+    #[test]
+    fn delta_ranks_improvements_first() {
+        let before = result(&[(0, false), (1, true)]);
+        let after = result(&[(0, true), (1, false)]);
+        let d = per_class_delta(&before, &after);
+        assert_eq!(d[0], (0, 1.0));
+        assert_eq!(d[1], (1, -1.0));
+    }
+
+    #[test]
+    fn render_includes_names() {
+        let r = result(&[(0, true)]);
+        let rep = ClassReport::from_result(&r);
+        let s = rep.render(|c| format!("class{c}"));
+        assert!(s.contains("class0"));
+        assert!(s.contains("mAP 1.000"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Histogram of Colors (HoC), `f_H^1`.
+//!
+//! A 256-bin histogram per RGB channel, concatenated to 768 dimensions and
+//! normalized to sum to 1 per channel — a direct implementation of the
+//! classic color-histogram feature (Novak & Shafer, CVPR'92) the paper
+//! uses.
+
+use lr_video::RgbFrame;
+
+/// Bins per channel.
+pub const BINS: usize = 256;
+
+/// Output dimensionality (3 channels x 256 bins).
+pub const DIM: usize = 3 * BINS;
+
+/// Extracts the 768-dimensional HoC feature from a frame.
+pub fn extract(frame: &RgbFrame) -> Vec<f32> {
+    let mut hist = vec![0.0f32; DIM];
+    let n = frame.width() * frame.height();
+    let data = frame.as_slice();
+    for c in 0..3 {
+        let plane = &data[c * n..(c + 1) * n];
+        for &v in plane {
+            let bin = ((v * 255.0) as usize).min(BINS - 1);
+            hist[c * BINS + bin] += 1.0;
+        }
+    }
+    let inv = 1.0 / n as f32;
+    for v in &mut hist {
+        *v *= inv;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_video::raster::rasterize;
+    use lr_video::{Video, VideoSpec};
+
+    fn frame() -> RgbFrame {
+        let v = Video::generate(VideoSpec {
+            id: 0,
+            seed: 31,
+            width: 640.0,
+            height: 480.0,
+            num_frames: 5,
+        });
+        rasterize(&v.frames[2], &v.style, 64)
+    }
+
+    #[test]
+    fn histogram_has_768_dims() {
+        assert_eq!(extract(&frame()).len(), 768);
+    }
+
+    #[test]
+    fn each_channel_sums_to_one() {
+        let h = extract(&frame());
+        for c in 0..3 {
+            let s: f32 = h[c * BINS..(c + 1) * BINS].iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "channel {c} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn black_image_concentrates_in_bin_zero() {
+        let img = RgbFrame::new(8, 8);
+        let h = extract(&img);
+        for c in 0..3 {
+            assert!((h[c * BINS] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let f = frame();
+        assert_eq!(extract(&f), extract(&f));
+    }
+
+    #[test]
+    fn different_content_gives_different_histograms() {
+        let a = extract(&frame());
+        let b = extract(&RgbFrame::new(64, 64));
+        assert_ne!(a, b);
+    }
+}

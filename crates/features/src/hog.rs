@@ -1,0 +1,188 @@
+//! Histogram of Oriented Gradients (HOG), `f_H^2`.
+//!
+//! A faithful implementation of Dalal & Triggs (CVPR'05) over the
+//! luminance of the raster: central-difference gradients, 9 unsigned
+//! orientation bins with linear interpolation, 8x8-pixel cells, 2x2-cell
+//! blocks with stride 1 and L2 normalization. On the default 64x64 raster
+//! this yields `7 x 7 x 2 x 2 x 9 = 1764` dimensions (the paper's 5400
+//! comes from its larger input; the descriptor is the same).
+
+use lr_video::RgbFrame;
+
+/// Pixels per cell edge.
+pub const CELL: usize = 8;
+/// Orientation bins (unsigned, 0..180 degrees).
+pub const ORIENTATIONS: usize = 9;
+/// Cells per block edge.
+pub const BLOCK: usize = 2;
+
+/// HOG dimensionality for a `size x size` image.
+pub fn dim_for(size: usize) -> usize {
+    let cells = size / CELL;
+    if cells < BLOCK {
+        return 0;
+    }
+    let blocks = cells - BLOCK + 1;
+    blocks * blocks * BLOCK * BLOCK * ORIENTATIONS
+}
+
+/// Extracts the HOG descriptor from a frame.
+///
+/// # Panics
+///
+/// Panics if the frame is not square or smaller than `BLOCK * CELL`.
+pub fn extract(frame: &RgbFrame) -> Vec<f32> {
+    let size = frame.width();
+    assert_eq!(size, frame.height(), "HOG expects a square raster");
+    assert!(
+        size >= BLOCK * CELL,
+        "raster too small for HOG: {size} < {}",
+        BLOCK * CELL
+    );
+    let lum = frame.luminance();
+    let cells_per_edge = size / CELL;
+
+    // Per-cell orientation histograms.
+    let mut cell_hists = vec![[0.0f32; ORIENTATIONS]; cells_per_edge * cells_per_edge];
+    let px = |x: usize, y: usize| lum[y * size + x];
+    for y in 0..size {
+        for x in 0..size {
+            // Central differences with clamped borders.
+            let gx = px((x + 1).min(size - 1), y) - px(x.saturating_sub(1), y);
+            let gy = px(x, (y + 1).min(size - 1)) - px(x, y.saturating_sub(1));
+            let mag = (gx * gx + gy * gy).sqrt();
+            if mag == 0.0 {
+                continue;
+            }
+            // Unsigned orientation in [0, 180).
+            let mut angle = gy.atan2(gx).to_degrees();
+            if angle < 0.0 {
+                angle += 180.0;
+            }
+            if angle >= 180.0 {
+                angle -= 180.0;
+            }
+            let bin_width = 180.0 / ORIENTATIONS as f32;
+            let pos = angle / bin_width - 0.5;
+            let lo = pos.floor();
+            let frac = pos - lo;
+            let bin_lo = ((lo as i32).rem_euclid(ORIENTATIONS as i32)) as usize;
+            let bin_hi = (bin_lo + 1) % ORIENTATIONS;
+            let cx = (x / CELL).min(cells_per_edge - 1);
+            let cy = (y / CELL).min(cells_per_edge - 1);
+            let hist = &mut cell_hists[cy * cells_per_edge + cx];
+            hist[bin_lo] += mag * (1.0 - frac);
+            hist[bin_hi] += mag * frac;
+        }
+    }
+
+    // Block normalization: 2x2 cells, stride 1, L2 norm.
+    let blocks_per_edge = cells_per_edge - BLOCK + 1;
+    let mut out = Vec::with_capacity(dim_for(size));
+    for by in 0..blocks_per_edge {
+        for bx in 0..blocks_per_edge {
+            let mut block = Vec::with_capacity(BLOCK * BLOCK * ORIENTATIONS);
+            for dy in 0..BLOCK {
+                for dx in 0..BLOCK {
+                    let cell = &cell_hists[(by + dy) * cells_per_edge + (bx + dx)];
+                    block.extend_from_slice(cell);
+                }
+            }
+            let norm = (block.iter().map(|v| v * v).sum::<f32>() + 1e-6).sqrt();
+            for v in &mut block {
+                *v /= norm;
+            }
+            out.extend_from_slice(&block);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_video::raster::rasterize;
+    use lr_video::{Video, VideoSpec};
+
+    fn frame() -> RgbFrame {
+        let v = Video::generate(VideoSpec {
+            id: 0,
+            seed: 41,
+            width: 640.0,
+            height: 480.0,
+            num_frames: 5,
+        });
+        rasterize(&v.frames[2], &v.style, 64)
+    }
+
+    #[test]
+    fn dimensionality_matches_formula() {
+        assert_eq!(dim_for(64), 1764);
+        assert_eq!(extract(&frame()).len(), 1764);
+    }
+
+    #[test]
+    fn blocks_are_l2_normalized() {
+        let h = extract(&frame());
+        let block_len = BLOCK * BLOCK * ORIENTATIONS;
+        for (i, block) in h.chunks(block_len).enumerate() {
+            let norm: f32 = block.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!(norm <= 1.0 + 1e-4, "block {i} norm {norm} > 1");
+        }
+    }
+
+    #[test]
+    fn flat_image_yields_zero_descriptor() {
+        let img = RgbFrame::new(64, 64);
+        let h = extract(&img);
+        assert!(h.iter().all(|&v| v.abs() < 1e-5));
+    }
+
+    #[test]
+    fn vertical_edge_fires_horizontal_gradient_bins() {
+        // Left half black, right half white: gradients point along x
+        // (angle 0), which lands in the first/last orientation bins.
+        let mut img = RgbFrame::new(64, 64);
+        for y in 0..64 {
+            for x in 32..64 {
+                for c in 0..3 {
+                    img.set(c, x, y, 1.0);
+                }
+            }
+        }
+        let h = extract(&img);
+        let block_len = BLOCK * BLOCK * ORIENTATIONS;
+        // Sum mass per orientation bin across all cells.
+        let mut per_bin = [0.0f32; ORIENTATIONS];
+        for block in h.chunks(block_len) {
+            for cell in block.chunks(ORIENTATIONS) {
+                for (b, &v) in cell.iter().enumerate() {
+                    per_bin[b] += v;
+                }
+            }
+        }
+        let max_bin = per_bin
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(
+            max_bin == 0 || max_bin == ORIENTATIONS - 1,
+            "edge energy concentrated in bin {max_bin}: {per_bin:?}"
+        );
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let f = frame();
+        assert_eq!(extract(&f), extract(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "square raster")]
+    fn non_square_input_panics() {
+        let img = RgbFrame::new(64, 32);
+        let _ = extract(&img);
+    }
+}

@@ -1,0 +1,250 @@
+//! The GoF executor: tracking-by-detection over a Group-of-Frames.
+
+use lr_device::{DeviceSim, OpUnit};
+use lr_video::FrameTruth;
+
+use crate::branch::Branch;
+use crate::detector::{Detection, DetectorFamily, DetectorOutput, DetectorSim};
+use crate::latency;
+use crate::tracker::TrackerSim;
+
+/// Everything produced by running one GoF under a branch.
+#[derive(Debug, Clone)]
+pub struct GofResult {
+    /// Detections per frame, aligned with the input frames.
+    pub per_frame: Vec<Vec<Detection>>,
+    /// Virtual milliseconds charged to the detector (GPU).
+    pub detector_ms: f64,
+    /// Virtual milliseconds charged to the tracker (CPU), summed over the
+    /// GoF.
+    pub tracker_ms: f64,
+    /// The first frame's raw detector output: the source of the ResNet50
+    /// and CPoP features.
+    pub first_frame_output: DetectorOutput,
+}
+
+impl GofResult {
+    /// Total kernel time charged over the GoF.
+    pub fn kernel_ms(&self) -> f64 {
+        self.detector_ms + self.tracker_ms
+    }
+
+    /// Mean per-frame kernel latency over the GoF (the paper's time
+    /// metric).
+    pub fn mean_frame_ms(&self) -> f64 {
+        self.kernel_ms() / self.per_frame.len().max(1) as f64
+    }
+}
+
+/// The multi-branch execution kernel.
+///
+/// Holds a detector family plus the currently configured branch's tracker
+/// state. Switching branches is the scheduler's job (and is charged via
+/// the switching-cost model in `lr-device`); `Mbek` just executes.
+#[derive(Debug, Clone)]
+pub struct Mbek {
+    detector: DetectorSim,
+    tracker: Option<TrackerSim>,
+    branch: Option<Branch>,
+    /// Multiplier on kernel base latencies — models implementation
+    /// inefficiency of older pipelines (ApproxDet's TF-1.14 stack).
+    latency_factor: f64,
+}
+
+impl Mbek {
+    /// Creates an MBEK over the given detector family (the paper's MBEK
+    /// uses Faster R-CNN; YOLO+/SSD+ reuse the same executor).
+    pub fn new(family: DetectorFamily) -> Self {
+        Self {
+            detector: DetectorSim::new(family),
+            tracker: None,
+            branch: None,
+            latency_factor: 1.0,
+        }
+    }
+
+    /// Scales all kernel latencies by `factor` (>= 1 models a slower
+    /// implementation of the same kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn with_latency_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "latency factor must be positive");
+        self.latency_factor = factor;
+        self
+    }
+
+    /// The detector family.
+    pub fn family(&self) -> DetectorFamily {
+        self.detector.family()
+    }
+
+    /// The currently configured branch.
+    pub fn branch(&self) -> Option<Branch> {
+        self.branch
+    }
+
+    /// Configures the execution branch, resetting tracker state.
+    pub fn set_branch(&mut self, branch: Branch) {
+        self.tracker = branch
+            .tracker
+            .map(|kind| TrackerSim::new(kind, branch.downsample));
+        self.branch = Some(branch);
+    }
+
+    /// Runs one GoF over `frames` (detector on the first frame, tracker on
+    /// the rest; detector on *every* frame for detector-only branches),
+    /// charging all kernel latencies to `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no branch is configured or `frames` is empty.
+    pub fn run_gof(&mut self, frames: &[FrameTruth], device: &mut DeviceSim) -> GofResult {
+        let branch = self.branch.expect("no branch configured");
+        assert!(!frames.is_empty(), "empty GoF");
+
+        let mut per_frame = Vec::with_capacity(frames.len());
+        let mut detector_ms = 0.0;
+        let mut tracker_ms = 0.0;
+
+        // Detection frame.
+        let det_base =
+            latency::detector_base_ms(self.detector.family(), branch.detector) * self.latency_factor;
+        detector_ms += device.charge(OpUnit::Gpu, det_base);
+        let first_output = self.detector.detect(&frames[0], branch.detector, device.rng());
+        per_frame.push(first_output.detections.clone());
+        if let Some(tracker) = &mut self.tracker {
+            tracker.reinit(&first_output.detections, &frames[0]);
+        }
+
+        // Remaining frames.
+        for frame in &frames[1..] {
+            match &mut self.tracker {
+                Some(tracker) => {
+                    let base = latency::tracker_base_ms(
+                        tracker.kind(),
+                        branch.downsample,
+                        tracker.num_tracks(),
+                    ) * self.latency_factor;
+                    tracker_ms += device.charge(OpUnit::Cpu, base);
+                    let boxes = tracker.step(frame, device.rng());
+                    per_frame.push(boxes);
+                }
+                None => {
+                    detector_ms += device.charge(OpUnit::Gpu, det_base);
+                    let out = self.detector.detect(frame, branch.detector, device.rng());
+                    per_frame.push(out.detections);
+                }
+            }
+        }
+
+        GofResult {
+            per_frame,
+            detector_ms,
+            tracker_ms,
+            first_frame_output: first_output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::TrackerKind;
+    use lr_device::DeviceKind;
+    use lr_video::{Video, VideoSpec};
+
+    fn video() -> Video {
+        Video::generate(VideoSpec {
+            id: 0,
+            seed: 81,
+            width: 640.0,
+            height: 480.0,
+            num_frames: 64,
+        })
+    }
+
+    #[test]
+    fn tracked_gof_charges_one_detection() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 1);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        mbek.set_branch(Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4));
+        let r = mbek.run_gof(&v.frames[0..8], &mut dev);
+        assert_eq!(r.per_frame.len(), 8);
+        assert!(r.detector_ms > 0.0);
+        assert!(r.tracker_ms > 0.0);
+        // One detection charge: far below 8x the detector cost.
+        assert!(r.detector_ms < 2.0 * latency::detector_base_ms(
+            DetectorFamily::FasterRcnn,
+            crate::branch::DetectorConfig::new(448, 20),
+        ));
+    }
+
+    #[test]
+    fn detector_only_branch_detects_every_frame() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 2);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        mbek.set_branch(Branch::detector_only(224, 5));
+        let r = mbek.run_gof(&v.frames[0..4], &mut dev);
+        assert_eq!(r.per_frame.len(), 4);
+        assert_eq!(r.tracker_ms, 0.0);
+        let one = latency::detector_base_ms(
+            DetectorFamily::FasterRcnn,
+            crate::branch::DetectorConfig::new(224, 5),
+        );
+        assert!(r.detector_ms > 3.0 * one, "expected ~4 detector charges");
+    }
+
+    #[test]
+    fn tracked_branch_is_cheaper_per_frame_than_detector_only() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 3);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+
+        mbek.set_branch(Branch::detector_only(448, 100));
+        let dense = mbek.run_gof(&v.frames[0..20], &mut dev);
+
+        mbek.set_branch(Branch::tracked(448, 100, TrackerKind::MedianFlow, 20, 4));
+        let tracked = mbek.run_gof(&v.frames[0..20], &mut dev);
+
+        assert!(
+            tracked.mean_frame_ms() < dense.mean_frame_ms() / 3.0,
+            "tracked {} vs dense {}",
+            tracked.mean_frame_ms(),
+            dense.mean_frame_ms()
+        );
+    }
+
+    #[test]
+    fn device_clock_advances_by_kernel_time() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 4);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        mbek.set_branch(Branch::tracked(320, 5, TrackerKind::Csrt, 8, 1));
+        let before = dev.now_ms();
+        let r = mbek.run_gof(&v.frames[0..8], &mut dev);
+        assert!((dev.now_ms() - before - r.kernel_ms()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_frame_output_has_proposals() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 5);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        mbek.set_branch(Branch::tracked(576, 100, TrackerKind::Kcf, 8, 4));
+        let r = mbek.run_gof(&v.frames[0..8], &mut dev);
+        assert!(!r.first_frame_output.proposal_logits.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no branch configured")]
+    fn running_without_branch_panics() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 6);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        let _ = mbek.run_gof(&v.frames[0..4], &mut dev);
+    }
+}

@@ -1,0 +1,336 @@
+//! Forward-only 2-D convolutional stacks.
+//!
+//! The paper extracts "deep" content features (ResNet50, MobileNetV2) with
+//! pretrained CNNs. This reproduction has no pretrained weights, so those
+//! features are synthesized by small *fixed-weight* convolutional stacks:
+//! random but deterministic filters followed by ReLU, striding, and global
+//! average pooling. Such stacks are well-known to produce content-dependent
+//! embeddings (random-feature networks) — which is all the scheduler's
+//! accuracy predictor needs.
+//!
+//! No backpropagation is implemented here; these stacks are never trained.
+
+use rand::Rng;
+
+/// A channels-height-width `f32` feature map (CHW layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMap {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMap {
+    /// Creates a zeroed feature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "feature map dimensions must be non-zero"
+        );
+        Self {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
+    }
+
+    /// Creates a feature map from a CHW buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match.
+    pub fn from_chw(channels: usize, height: usize, width: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), channels * height * width, "CHW buffer mismatch");
+        Self {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Value at `(c, y, x)`.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Sets the value at `(c, y, x)`.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        self.data[(c * self.height + y) * self.width + x] = v;
+    }
+
+    /// Raw CHW buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Global average pool: one value per channel.
+    pub fn global_average_pool(&self) -> Vec<f32> {
+        let hw = (self.height * self.width) as f32;
+        (0..self.channels)
+            .map(|c| {
+                let start = c * self.height * self.width;
+                self.data[start..start + self.height * self.width]
+                    .iter()
+                    .sum::<f32>()
+                    / hw
+            })
+            .collect()
+    }
+}
+
+/// A single 2-D convolution layer with square kernels, stride, and ReLU.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    // Weights in [out_c][in_c][ky][kx] order, flattened.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-style random filters from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn random(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel/stride must be positive");
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let bound = (2.0 / fan_in).sqrt();
+        let weights = (0..out_channels * in_channels * kernel * kernel)
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect();
+        let bias = (0..out_channels)
+            .map(|_| rng.gen_range(-0.05..=0.05))
+            .collect();
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weights,
+            bias,
+        }
+    }
+
+    /// Output spatial size for an input of the given size (valid padding).
+    fn out_size(&self, input: usize) -> usize {
+        if input < self.kernel {
+            1
+        } else {
+            (input - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Forward pass with ReLU.
+    ///
+    /// Inputs smaller than the kernel are zero-padded up to kernel size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match.
+    pub fn forward(&self, input: &FeatureMap) -> FeatureMap {
+        assert_eq!(
+            input.channels(),
+            self.in_channels,
+            "channel mismatch: input {} vs layer {}",
+            input.channels(),
+            self.in_channels
+        );
+        let oh = self.out_size(input.height());
+        let ow = self.out_size(input.width());
+        let mut out = FeatureMap::zeros(self.out_channels, oh, ow);
+        let k = self.kernel;
+        for oc in 0..self.out_channels {
+            let w_base = oc * self.in_channels * k * k;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_channels {
+                        let w_ic = w_base + ic * k * k;
+                        for ky in 0..k {
+                            let iy = oy * self.stride + ky;
+                            if iy >= input.height() {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox * self.stride + kx;
+                                if ix >= input.width() {
+                                    continue;
+                                }
+                                acc += self.weights[w_ic + ky * k + kx] * input.get(ic, iy, ix);
+                            }
+                        }
+                    }
+                    out.set(oc, oy, ox, acc.max(0.0));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A stack of convolution layers ending in global average pooling.
+///
+/// # Examples
+///
+/// ```
+/// use lr_nn::conv::{ConvStack, FeatureMap};
+///
+/// let stack = ConvStack::random(&[(3, 8, 3, 2), (8, 16, 3, 2)], 42);
+/// let input = FeatureMap::zeros(3, 32, 32);
+/// let embedding = stack.embed(&input);
+/// assert_eq!(embedding.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvStack {
+    layers: Vec<Conv2d>,
+}
+
+impl ConvStack {
+    /// Builds a stack from `(in_c, out_c, kernel, stride)` specs with
+    /// deterministic random weights derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if specs are empty or channel counts do not chain.
+    pub fn random(specs: &[(usize, usize, usize, usize)], seed: u64) -> Self {
+        assert!(!specs.is_empty(), "at least one conv layer required");
+        for w in specs.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "conv channel chain mismatch");
+        }
+        let mut rng = crate::init::seeded_rng(seed);
+        let layers = specs
+            .iter()
+            .map(|&(ic, oc, k, s)| Conv2d::random(ic, oc, k, s, &mut rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Output embedding dimensionality.
+    pub fn embedding_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_channels
+    }
+
+    /// Runs the stack and global-average-pools the final map into an
+    /// embedding vector.
+    pub fn embed(&self, input: &FeatureMap) -> Vec<f32> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x.global_average_pool()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape() {
+        let mut rng = crate::init::seeded_rng(0);
+        let conv = Conv2d::random(3, 4, 3, 2, &mut rng);
+        let out = conv.forward(&FeatureMap::zeros(3, 9, 9));
+        assert_eq!(
+            (out.channels(), out.height(), out.width()),
+            (4, 4, 4) // (9-3)/2+1 = 4.
+        );
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_values() {
+        // A 1x1 kernel with weight 1 and zero bias is identity (plus ReLU).
+        let conv = Conv2d {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            weights: vec![1.0],
+            bias: vec![0.0],
+        };
+        let mut input = FeatureMap::zeros(1, 2, 2);
+        input.set(0, 0, 0, 3.0);
+        input.set(0, 1, 1, -2.0);
+        let out = conv.forward(&input);
+        assert_eq!(out.get(0, 0, 0), 3.0);
+        assert_eq!(out.get(0, 1, 1), 0.0); // ReLU clamps the negative.
+    }
+
+    #[test]
+    fn global_average_pool_means_per_channel() {
+        let mut fm = FeatureMap::zeros(2, 2, 2);
+        for y in 0..2 {
+            for x in 0..2 {
+                fm.set(0, y, x, 1.0);
+                fm.set(1, y, x, (y * 2 + x) as f32);
+            }
+        }
+        assert_eq!(fm.global_average_pool(), vec![1.0, 1.5]);
+    }
+
+    #[test]
+    fn stack_embedding_is_deterministic_and_content_dependent() {
+        let stack = ConvStack::random(&[(3, 8, 3, 2), (8, 16, 3, 2)], 5);
+        let zero = FeatureMap::zeros(3, 24, 24);
+        let mut bright = FeatureMap::zeros(3, 24, 24);
+        for c in 0..3 {
+            for y in 0..24 {
+                for x in 0..24 {
+                    bright.set(c, y, x, 0.8);
+                }
+            }
+        }
+        let e0 = stack.embed(&zero);
+        let e0b = stack.embed(&zero);
+        let e1 = stack.embed(&bright);
+        assert_eq!(e0, e0b, "embedding must be deterministic");
+        assert_ne!(e0, e1, "embedding must depend on content");
+        assert_eq!(e0.len(), 16);
+    }
+
+    #[test]
+    fn tiny_input_is_padded_not_panicking() {
+        let stack = ConvStack::random(&[(1, 4, 5, 2)], 9);
+        let out = stack.embed(&FeatureMap::zeros(1, 2, 2));
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "conv channel chain mismatch")]
+    fn stack_rejects_bad_chain() {
+        let _ = ConvStack::random(&[(3, 8, 3, 2), (4, 16, 3, 2)], 0);
+    }
+}

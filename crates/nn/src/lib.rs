@@ -1,0 +1,38 @@
+//! Minimal from-scratch neural-network library for the LiteReconfig
+//! reproduction.
+//!
+//! The paper trains a 6-layer fully-connected accuracy prediction model with
+//! MSE loss and SGD (momentum 0.9, L2 regularization). This crate provides
+//! exactly the pieces needed for that, plus forward-only convolutional
+//! stacks used to synthesize "deep" content features (the stand-ins for the
+//! paper's ResNet50 and MobileNetV2 extractors):
+//!
+//! - [`tensor::Matrix`]: a dense row-major `f32` matrix with the handful of
+//!   BLAS-like kernels the rest of the crate needs.
+//! - [`layers`]: dense (fully-connected) layers and activations with
+//!   backpropagation.
+//! - [`mlp::Mlp`]: a sequential multi-layer perceptron.
+//! - [`optim::Sgd`]: stochastic gradient descent with momentum and weight
+//!   decay.
+//! - [`conv`]: forward-only 2-D convolution / pooling used by the feature
+//!   extractors.
+//!
+//! Everything is deterministic given a seed; there is no threading and no
+//! unsafe code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod conv;
+pub mod init;
+pub mod layers;
+pub mod linreg;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+pub mod tensor;
+
+pub use mlp::{Mlp, MlpConfig};
+pub use optim::Sgd;
+pub use tensor::Matrix;

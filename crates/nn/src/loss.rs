@@ -1,0 +1,89 @@
+//! Loss functions.
+
+use crate::tensor::Matrix;
+
+/// Mean squared error over all elements: `mean((pred - target)^2)`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Matrix, target: &Matrix) -> f32 {
+    let d = pred.sub(target);
+    d.as_slice().iter().map(|v| v * v).sum::<f32>() / d.as_slice().len() as f32
+}
+
+/// Gradient of [`mse`] with respect to `pred`: `2 (pred - target) / n`.
+pub fn mse_gradient(pred: &Matrix, target: &Matrix) -> Matrix {
+    let n = (pred.rows() * pred.cols()) as f32;
+    pred.sub(target).scaled(2.0 / n)
+}
+
+/// Gradient of the *per-example* MSE (mean over the batch, sum over
+/// output dimensions): `2 (pred - target) / batch`.
+///
+/// Use this for training multi-output regressors: normalizing by the
+/// output count as well (as [`mse_gradient`] does) shrinks per-output
+/// gradients with the output width, which stalls learning for wide heads
+/// (e.g. one output per execution branch).
+pub fn mse_gradient_batch_mean(pred: &Matrix, target: &Matrix) -> Matrix {
+    let n = pred.rows() as f32;
+    pred.sub(target).scaled(2.0 / n)
+}
+
+/// Mean absolute error — used only for reporting, never for training.
+pub fn mae(pred: &Matrix, target: &Matrix) -> f32 {
+    let d = pred.sub(target);
+    d.as_slice().iter().map(|v| v.abs()).sum::<f32>() / d.as_slice().len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_is_zero() {
+        let a = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::row_vector(&[0.0, 0.0]);
+        let t = Matrix::row_vector(&[1.0, -1.0]);
+        assert_eq!(mse(&p, &t), 1.0);
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let p = Matrix::row_vector(&[2.0]);
+        let t = Matrix::row_vector(&[1.0]);
+        let g = mse_gradient(&p, &t);
+        assert_eq!(g, Matrix::row_vector(&[2.0]));
+    }
+
+    #[test]
+    fn mae_known_value() {
+        let p = Matrix::row_vector(&[0.0, 0.0]);
+        let t = Matrix::row_vector(&[3.0, -1.0]);
+        assert_eq!(mae(&p, &t), 2.0);
+    }
+
+    /// The MSE gradient should match a finite-difference estimate.
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let mut p = Matrix::row_vector(&[0.3, -0.4, 0.9]);
+        let t = Matrix::row_vector(&[0.1, 0.2, 0.5]);
+        let g = mse_gradient(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let orig = p.as_slice()[i];
+            p.as_mut_slice()[i] = orig + eps;
+            let lp = mse(&p, &t);
+            p.as_mut_slice()[i] = orig - eps;
+            let lm = mse(&p, &t);
+            p.as_mut_slice()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+}

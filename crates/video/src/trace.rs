@@ -1,0 +1,219 @@
+//! Ground-truth trace export/import.
+//!
+//! Serializes a video's per-frame ground truth to a simple CSV layout so
+//! traces can be inspected with external tools or pinned as regression
+//! fixtures. The format is line-oriented:
+//!
+//! ```text
+//! frame,stream,width,height,regime,id,class,x,y,w,h,vx,vy,difficulty
+//! ```
+//!
+//! One row per (frame, object); frames with no objects emit a single row
+//! with an empty object id.
+
+use crate::classes::ObjectClass;
+use crate::geometry::BBox;
+use crate::object::GtObject;
+use crate::regime::{ClutterLevel, MotionLevel, Regime};
+use crate::video::{FrameTruth, Video};
+
+/// Serializes a video's ground truth to trace CSV.
+pub fn export_csv(video: &Video) -> String {
+    let mut out = String::from("frame,stream,width,height,regime,id,class,x,y,w,h,vx,vy,difficulty\n");
+    for f in &video.frames {
+        if f.objects.is_empty() {
+            out.push_str(&format!(
+                "{},{},{},{},{},,,,,,,,,\n",
+                f.frame_index,
+                f.stream_id,
+                f.width,
+                f.height,
+                f.regime.index()
+            ));
+            continue;
+        }
+        for o in &f.objects {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                f.frame_index,
+                f.stream_id,
+                f.width,
+                f.height,
+                f.regime.index(),
+                o.id,
+                o.class.index(),
+                o.bbox.x,
+                o.bbox.y,
+                o.bbox.w,
+                o.bbox.h,
+                o.velocity.0,
+                o.velocity.1,
+                o.difficulty
+            ));
+        }
+    }
+    out
+}
+
+/// Parses trace CSV back into frame truths.
+///
+/// Color jitter is not serialized (it only affects rendering); imported
+/// objects carry zero jitter.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn import_csv(csv: &str) -> Result<Vec<FrameTruth>, String> {
+    let mut frames: Vec<FrameTruth> = Vec::new();
+    for (lineno, line) in csv.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 14 {
+            return Err(format!("line {}: expected 14 fields, got {}", lineno + 1, fields.len()));
+        }
+        let parse_f = |s: &str, name: &str| -> Result<f32, String> {
+            s.parse()
+                .map_err(|_| format!("line {}: bad {name} '{s}'", lineno + 1))
+        };
+        let frame_index: u32 = fields[0]
+            .parse()
+            .map_err(|_| format!("line {}: bad frame index", lineno + 1))?;
+        let stream_id: u64 = fields[1]
+            .parse()
+            .map_err(|_| format!("line {}: bad stream id", lineno + 1))?;
+        let width = parse_f(fields[2], "width")?;
+        let height = parse_f(fields[3], "height")?;
+        let regime_idx: usize = fields[4]
+            .parse()
+            .map_err(|_| format!("line {}: bad regime", lineno + 1))?;
+        let regime = regime_from_index(regime_idx)
+            .ok_or_else(|| format!("line {}: regime {} out of range", lineno + 1, regime_idx))?;
+
+        // Start a new frame when the index advances.
+        let need_new = frames
+            .last()
+            .map_or(true, |f| f.frame_index != frame_index);
+        if need_new {
+            frames.push(FrameTruth {
+                stream_id,
+                frame_index,
+                width,
+                height,
+                regime,
+                objects: Vec::new(),
+            });
+        }
+        if fields[5].is_empty() {
+            continue; // Empty-frame marker row.
+        }
+        let id: u32 = fields[5]
+            .parse()
+            .map_err(|_| format!("line {}: bad object id", lineno + 1))?;
+        let class_idx: usize = fields[6]
+            .parse()
+            .map_err(|_| format!("line {}: bad class", lineno + 1))?;
+        if class_idx >= crate::classes::NUM_CLASSES {
+            return Err(format!("line {}: class {} out of range", lineno + 1, class_idx));
+        }
+        let obj = GtObject {
+            id,
+            class: ObjectClass::new(class_idx),
+            bbox: BBox::new(
+                parse_f(fields[7], "x")?,
+                parse_f(fields[8], "y")?,
+                parse_f(fields[9], "w")?,
+                parse_f(fields[10], "h")?,
+            ),
+            velocity: (parse_f(fields[11], "vx")?, parse_f(fields[12], "vy")?),
+            difficulty: parse_f(fields[13], "difficulty")?,
+            color_jitter: [0.0; 3],
+        };
+        frames.last_mut().expect("frame exists").objects.push(obj);
+    }
+    Ok(frames)
+}
+
+/// Inverse of [`Regime::index`].
+fn regime_from_index(idx: usize) -> Option<Regime> {
+    let motion = match idx / 2 {
+        0 => MotionLevel::Slow,
+        1 => MotionLevel::Medium,
+        2 => MotionLevel::Fast,
+        _ => return None,
+    };
+    let clutter = match idx % 2 {
+        0 => ClutterLevel::Sparse,
+        _ => ClutterLevel::Cluttered,
+    };
+    Some(Regime { motion, clutter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoSpec;
+
+    fn video() -> Video {
+        Video::generate(VideoSpec {
+            id: 0,
+            seed: 5151,
+            width: 640.0,
+            height: 480.0,
+            num_frames: 40,
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_geometry_and_classes() {
+        let v = video();
+        let csv = export_csv(&v);
+        let frames = import_csv(&csv).expect("import");
+        assert_eq!(frames.len(), v.frames.len());
+        for (a, b) in v.frames.iter().zip(frames.iter()) {
+            assert_eq!(a.frame_index, b.frame_index);
+            assert_eq!(a.regime, b.regime);
+            assert_eq!(a.objects.len(), b.objects.len());
+            for (oa, ob) in a.objects.iter().zip(b.objects.iter()) {
+                assert_eq!(oa.id, ob.id);
+                assert_eq!(oa.class, ob.class);
+                assert!((oa.bbox.x - ob.bbox.x).abs() < 1e-3);
+                assert!((oa.difficulty - ob.difficulty).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn regime_index_round_trips() {
+        for r in Regime::all() {
+            assert_eq!(regime_from_index(r.index()), Some(r));
+        }
+        assert_eq!(regime_from_index(6), None);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_numbers() {
+        let v = video();
+        let mut csv = export_csv(&v);
+        csv.push_str("not,a,valid,row\n");
+        let err = import_csv(&csv).unwrap_err();
+        assert!(err.contains("expected 14 fields"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_class_is_rejected() {
+        let csv = "header\n0,1,640,480,0,5,99,0,0,10,10,0,0,0.1\n";
+        let err = import_csv(csv).unwrap_err();
+        assert!(err.contains("class 99 out of range"), "{err}");
+    }
+
+    #[test]
+    fn empty_frames_survive_round_trip() {
+        let mut v = video();
+        v.frames[3].objects.clear();
+        let frames = import_csv(&export_csv(&v)).expect("import");
+        assert!(frames[3].objects.is_empty());
+        assert_eq!(frames.len(), v.frames.len());
+    }
+}

@@ -1,0 +1,255 @@
+//! Whole videos: specs, styles, and generated frame truths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::object::GtObject;
+use crate::regime::Regime;
+use crate::scene::{Scene, SceneConfig};
+
+/// Source resolutions sampled for videos, mirroring the mixed resolutions
+/// of ILSVRC VID footage.
+pub const RESOLUTIONS: [(f32, f32); 4] = [
+    (1280.0, 720.0),
+    (856.0, 480.0),
+    (640.0, 480.0),
+    (320.0, 240.0),
+];
+
+/// Ground truth for a single frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTruth {
+    /// Identifier of the video stream this frame belongs to (the video
+    /// seed). Detector simulators hash it together with object ids to
+    /// draw *temporally persistent* detection outcomes.
+    pub stream_id: u64,
+    /// Zero-based frame index within the video.
+    pub frame_index: u32,
+    /// Source frame width in pixels.
+    pub width: f32,
+    /// Source frame height in pixels.
+    pub height: f32,
+    /// The latent content regime the frame was generated under. The
+    /// scheduler never sees this directly — it must infer content
+    /// characteristics through features.
+    pub regime: Regime,
+    /// Visible ground-truth objects.
+    pub objects: Vec<GtObject>,
+}
+
+impl FrameTruth {
+    /// Mean ground-truth object speed in pixels/frame (0 when empty).
+    pub fn mean_speed(&self) -> f32 {
+        if self.objects.is_empty() {
+            return 0.0;
+        }
+        self.objects.iter().map(GtObject::speed).sum::<f32>() / self.objects.len() as f32
+    }
+
+    /// Mean relative object scale (0 when empty).
+    pub fn mean_relative_scale(&self) -> f32 {
+        if self.objects.is_empty() {
+            return 0.0;
+        }
+        self.objects
+            .iter()
+            .map(|o| o.relative_scale(self.width, self.height))
+            .sum::<f32>()
+            / self.objects.len() as f32
+    }
+}
+
+/// Immutable description of a video before generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoSpec {
+    /// Unique video id within the dataset.
+    pub id: u32,
+    /// Generation seed (fully determines the video).
+    pub seed: u64,
+    /// Source width in pixels.
+    pub width: f32,
+    /// Source height in pixels.
+    pub height: f32,
+    /// Number of frames.
+    pub num_frames: usize,
+}
+
+impl VideoSpec {
+    /// Derives a spec deterministically from an id, using the id itself to
+    /// pick resolution and length (VID videos range from tens of frames to
+    /// over a thousand; we use 240–600).
+    pub fn from_id(id: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000_u64 + id as u64);
+        let (width, height) = RESOLUTIONS[rng.gen_range(0..RESOLUTIONS.len())];
+        let num_frames = rng.gen_range(240..=600);
+        Self {
+            id,
+            seed: (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x517E_C0DE,
+            width,
+            height,
+            num_frames,
+        }
+    }
+}
+
+/// Per-video rendering style (background palette and texture), derived
+/// from the seed so that pixel features vary across videos.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoStyle {
+    /// Background gradient color at the top of the frame.
+    pub bg_top: [f32; 3],
+    /// Background gradient color at the bottom of the frame.
+    pub bg_bottom: [f32; 3],
+    /// Spatial frequency of the background texture.
+    pub texture_freq: f32,
+}
+
+impl VideoStyle {
+    /// Derives a style from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBADC_0FFE);
+        let hue = rng.gen_range(0.0..360.0);
+        let bg_top = crate::classes::hsv_to_rgb(hue, rng.gen_range(0.1..0.4), 0.8);
+        let bg_bottom =
+            crate::classes::hsv_to_rgb((hue + 40.0) % 360.0, rng.gen_range(0.1..0.4), 0.45);
+        Self {
+            bg_top,
+            bg_bottom,
+            texture_freq: rng.gen_range(0.5..3.0),
+        }
+    }
+}
+
+/// A fully generated video: spec, style, and per-frame ground truth.
+#[derive(Debug, Clone)]
+pub struct Video {
+    /// The video's spec.
+    pub spec: VideoSpec,
+    /// The video's rendering style.
+    pub style: VideoStyle,
+    /// Ground truth for every frame, in order.
+    pub frames: Vec<FrameTruth>,
+}
+
+impl Video {
+    /// Generates the video described by `spec`.
+    pub fn generate(spec: VideoSpec) -> Self {
+        let cfg = SceneConfig {
+            width: spec.width,
+            height: spec.height,
+            ..SceneConfig::default()
+        };
+        let mut scene = Scene::new(cfg, spec.seed);
+        let frames = (0..spec.num_frames).map(|_| scene.step()).collect();
+        let style = VideoStyle::from_seed(spec.seed);
+        Self {
+            spec,
+            style,
+            frames,
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the video has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Iterates over non-overlapping snippets of `n` frames (the paper's
+    /// accuracy-prediction granularity, N = 100). The final partial snippet
+    /// is included if it has at least `n / 2` frames.
+    pub fn snippets(&self, n: usize) -> Vec<&[FrameTruth]> {
+        assert!(n > 0, "snippet length must be positive");
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start + n <= self.frames.len() {
+            out.push(&self.frames[start..start + n]);
+            start += n;
+        }
+        let rem = self.frames.len() - start;
+        if rem >= n / 2 && rem > 0 {
+            out.push(&self.frames[start..]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = VideoSpec {
+            id: 0,
+            seed: 9,
+            width: 640.0,
+            height: 480.0,
+            num_frames: 60,
+        };
+        let a = Video::generate(spec.clone());
+        let b = Video::generate(spec);
+        assert_eq!(a.frames.len(), b.frames.len());
+        for (fa, fb) in a.frames.iter().zip(b.frames.iter()) {
+            assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn snippets_partition_without_overlap() {
+        let spec = VideoSpec {
+            id: 0,
+            seed: 2,
+            width: 320.0,
+            height: 240.0,
+            num_frames: 250,
+        };
+        let v = Video::generate(spec);
+        let snippets = v.snippets(100);
+        // 250 frames -> [0,100), [100,200), and the 50-frame remainder.
+        assert_eq!(snippets.len(), 3);
+        assert_eq!(snippets[0].len(), 100);
+        assert_eq!(snippets[2].len(), 50);
+        assert_eq!(snippets[1][0].frame_index, 100);
+    }
+
+    #[test]
+    fn short_remainder_is_dropped() {
+        let spec = VideoSpec {
+            id: 0,
+            seed: 2,
+            width: 320.0,
+            height: 240.0,
+            num_frames: 130,
+        };
+        let v = Video::generate(spec);
+        // 30-frame remainder < 50 is dropped.
+        assert_eq!(v.snippets(100).len(), 1);
+    }
+
+    #[test]
+    fn style_is_deterministic_and_seed_dependent() {
+        assert_eq!(VideoStyle::from_seed(1), VideoStyle::from_seed(1));
+        assert_ne!(VideoStyle::from_seed(1), VideoStyle::from_seed(2));
+    }
+
+    #[test]
+    fn frame_summaries_are_finite() {
+        let spec = VideoSpec {
+            id: 0,
+            seed: 4,
+            width: 640.0,
+            height: 480.0,
+            num_frames: 100,
+        };
+        let v = Video::generate(spec);
+        for f in &v.frames {
+            assert!(f.mean_speed().is_finite());
+            assert!(f.mean_relative_scale().is_finite());
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the LiteReconfig reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual library surface
+//! lives in the member crates, re-exported here for convenience.
+
+pub use litereconfig;
+pub use lr_device;
+pub use lr_eval;
+pub use lr_features;
+pub use lr_kernels;
+pub use lr_nn;
+pub use lr_video;

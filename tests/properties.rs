@@ -1,0 +1,103 @@
+//! Cross-crate property-based tests on the core invariants.
+
+use lr_eval::{GtBox, LatencyStats, MapAccumulator, PredBox};
+use lr_video::{BBox, Video, VideoSpec};
+use proptest::prelude::*;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (0.0f32..500.0, 0.0f32..500.0, 1.0f32..200.0, 1.0f32..200.0)
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h))
+}
+
+proptest! {
+    /// IoU is always in [0, 1] and symmetric.
+    #[test]
+    fn iou_bounds_and_symmetry(a in arb_bbox(), b in arb_bbox()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        // f32 catastrophic cancellation in (x+w)-x at large coordinates
+        // bounds the achievable precision.
+        prop_assert!((-1e-4..=1.0001).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-4);
+    }
+
+    /// IoU with itself is 1 for valid boxes (up to f32 cancellation in
+    /// the corner arithmetic).
+    #[test]
+    fn iou_self_is_one(a in arb_bbox()) {
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-3);
+    }
+
+    /// Clamping never grows a box and always fits the frame.
+    #[test]
+    fn clamp_shrinks_into_frame(a in arb_bbox(), w in 10.0f32..1000.0, h in 10.0f32..1000.0) {
+        let c = a.clamped(w, h);
+        prop_assert!(c.area() <= a.area() * 1.001 + 1e-2);
+        prop_assert!(c.x >= 0.0 && c.right() <= w + 1e-3);
+        prop_assert!(c.y >= 0.0 && c.bottom() <= h + 1e-3);
+    }
+
+    /// mAP is always within [0, 1], whatever the inputs.
+    #[test]
+    fn map_is_bounded(
+        gt_xs in prop::collection::vec((0usize..5, arb_bbox()), 0..8),
+        pred_xs in prop::collection::vec((0usize..5, arb_bbox(), 0.01f32..1.0), 0..8),
+    ) {
+        let mut acc = MapAccumulator::new();
+        let gt: Vec<GtBox> = gt_xs.iter().map(|&(class, bbox)| GtBox { class, bbox }).collect();
+        let preds: Vec<PredBox> = pred_xs
+            .iter()
+            .map(|&(class, bbox, score)| PredBox { class, bbox, score })
+            .collect();
+        acc.add_frame(&gt, &preds);
+        let r = acc.finalize(0.5);
+        prop_assert!((0.0..=1.0).contains(&r.map));
+    }
+
+    /// Predicting ground truth exactly always yields mAP 1 (when there is
+    /// ground truth at all).
+    #[test]
+    fn perfect_predictions_score_one(
+        gt_xs in prop::collection::vec((0usize..5, arb_bbox()), 1..6),
+    ) {
+        // Deduplicate identical (class, bbox) pairs: a duplicated GT box
+        // would need two identical predictions ranked apart.
+        let mut acc = MapAccumulator::new();
+        let gt: Vec<GtBox> = gt_xs.iter().map(|&(class, bbox)| GtBox { class, bbox }).collect();
+        let preds: Vec<PredBox> = gt
+            .iter()
+            .map(|g| PredBox { class: g.class, bbox: g.bbox, score: 0.9 })
+            .collect();
+        acc.add_frame(&gt, &preds);
+        let r = acc.finalize(0.5);
+        prop_assert!(r.map > 0.99, "mAP {} for perfect predictions", r.map);
+    }
+
+    /// Percentiles are monotone in the quantile.
+    #[test]
+    fn percentiles_are_monotone(samples in prop::collection::vec(0.0f64..1000.0, 1..50)) {
+        let mut s = LatencyStats::new();
+        for v in &samples {
+            s.record(*v);
+        }
+        prop_assert!(s.percentile(0.5) <= s.percentile(0.95) + 1e-9);
+        prop_assert!(s.percentile(0.95) <= s.percentile(1.0) + 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+    }
+
+    /// Video generation is deterministic and in-bounds for arbitrary ids.
+    #[test]
+    fn videos_are_deterministic_and_bounded(id in 0u32..5000) {
+        let spec = VideoSpec::from_id(id);
+        let v = Video::generate(spec.clone());
+        prop_assert_eq!(v.len(), spec.num_frames);
+        // Spot-check a few frames for in-bounds objects.
+        for f in v.frames.iter().step_by(97) {
+            for o in &f.objects {
+                prop_assert!(o.bbox.x >= -1e-3 && o.bbox.right() <= f.width + 1e-3);
+                prop_assert!(o.bbox.y >= -1e-3 && o.bbox.bottom() <= f.height + 1e-3);
+                prop_assert!((0.0..=1.0).contains(&o.difficulty));
+            }
+        }
+    }
+}
