@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks over the hot paths of the reproduction:
-//! feature extraction, accuracy-model inference, the scheduler decision,
-//! GoF execution, and mAP evaluation.
+//! Micro-benchmarks over the hot paths of the reproduction: feature
+//! extraction, accuracy-model inference, the scheduler decision, GoF
+//! execution, and mAP evaluation.
+//!
+//! Criterion is unavailable offline, so this is a plain `harness = false`
+//! binary with a warmup + timed-loop harness. Run with
+//! `cargo bench -p lr-bench` (always in release).
 
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 use litereconfig::offline::{profile_videos, OfflineConfig};
 use litereconfig::trainer::{train_scheduler, TrainConfig};
@@ -17,6 +20,27 @@ use lr_kernels::{Branch, DetectorFamily, Mbek, TrackerKind};
 use lr_video::raster::rasterize;
 use lr_video::{Dataset, DatasetConfig, Split, Video, VideoSpec};
 
+/// Times `f` over enough iterations to fill ~200 ms after a short warmup
+/// and prints mean per-iteration time.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warmup and calibration: measure one call to pick the iteration count.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.2 / once) as usize).clamp(10, 100_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = t1.elapsed().as_secs_f64() / iters as f64;
+    let (val, unit) = if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else {
+        (per_iter * 1e6, "us")
+    };
+    println!("{name:<28} {val:>10.3} {unit}/iter  ({iters} iters)");
+}
+
 fn test_video() -> Video {
     Video::generate(VideoSpec {
         id: 0,
@@ -27,45 +51,43 @@ fn test_video() -> Video {
     })
 }
 
-fn bench_features(c: &mut Criterion) {
+fn bench_features() {
     let v = test_video();
     let img = rasterize(&v.frames[0], &v.style, 64);
     let mut svc = FeatureService::new();
     let logits = vec![vec![0.0f32; 31]; 8];
 
-    let mut g = c.benchmark_group("features");
-    g.bench_function("rasterize_64", |b| {
-        b.iter(|| rasterize(&v.frames[0], &v.style, 64))
+    bench("features/rasterize_64", || {
+        rasterize(&v.frames[0], &v.style, 64)
     });
-    g.bench_function("hoc", |b| b.iter(|| lr_features::hoc::extract(&img)));
-    g.bench_function("hog", |b| b.iter(|| lr_features::hog::extract(&img)));
-    g.bench_function("resnet50_standin", |b| {
-        b.iter(|| svc.extract_heavy(FeatureKind::ResNet50, &v, 0, None))
+    bench("features/hoc", || lr_features::hoc::extract(&img));
+    bench("features/hog", || lr_features::hog::extract(&img));
+    bench("features/resnet50_standin", || {
+        svc.extract_heavy(FeatureKind::ResNet50, &v, 0, None)
     });
-    g.bench_function("cpop", |b| {
-        b.iter(|| lr_features::cpop::cpop_vector(&logits))
-    });
-    g.finish();
+    bench("features/cpop", || lr_features::cpop::cpop_vector(&logits));
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn bench_kernels() {
     let v = test_video();
     let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 1);
     let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
     mbek.set_branch(Branch::tracked(448, 100, TrackerKind::Csrt, 8, 4));
 
-    let mut g = c.benchmark_group("kernels");
-    g.bench_function("gof_8_frames", |b| {
-        b.iter(|| mbek.run_gof(&v.frames[0..8], &mut dev))
+    bench("kernels/gof_8_frames", || {
+        mbek.run_gof(&v.frames[0..8], &mut dev)
     });
     let det = lr_kernels::DetectorSim::new(DetectorFamily::FasterRcnn);
-    g.bench_function("detect_frame", |b| {
-        b.iter(|| det.detect(&v.frames[0], lr_kernels::DetectorConfig::new(448, 100), dev.rng()))
+    bench("kernels/detect_frame", || {
+        det.detect(
+            &v.frames[0],
+            lr_kernels::DetectorConfig::new(448, 100),
+            dev.rng(),
+        )
     });
-    g.finish();
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler() {
     let dataset = Dataset::new(DatasetConfig {
         train_vision: 0,
         train_scheduler: 2,
@@ -87,23 +109,25 @@ fn bench_scheduler(c: &mut Criterion) {
     let v = test_video();
     let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 2);
 
-    let mut g = c.benchmark_group("scheduler");
-    g.bench_function("decide_mincost", |b| {
+    {
         let mut s = Scheduler::new(trained.clone(), Policy::MinCost, 50.0);
-        b.iter(|| s.decide(&v, 0, &[], &mut svc, &mut dev))
-    });
-    g.bench_function("decide_cost_benefit", |b| {
+        bench("scheduler/decide_mincost", || {
+            s.decide(&v, 0, &[], &mut svc, &mut dev)
+        });
+    }
+    {
         let mut s = Scheduler::new(trained.clone(), Policy::CostBenefit, 50.0);
-        b.iter(|| s.decide(&v, 0, &[], &mut svc, &mut dev))
-    });
+        bench("scheduler/decide_cost_benefit", || {
+            s.decide(&v, 0, &[], &mut svc, &mut dev)
+        });
+    }
     let light_model = &trained.accuracy[&FeatureKind::Light];
-    g.bench_function("accuracy_mlp_infer", |b| {
-        b.iter(|| light_model.predict(&[0.4, 0.3, 0.2, 0.01], None))
+    bench("scheduler/accuracy_mlp_infer", || {
+        light_model.predict(&[0.4, 0.3, 0.2, 0.01], None)
     });
-    g.finish();
 }
 
-fn bench_eval(c: &mut Criterion) {
+fn bench_eval() {
     let v = test_video();
     let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 3);
     let det = lr_kernels::DetectorSim::new(DetectorFamily::FasterRcnn);
@@ -119,20 +143,20 @@ fn bench_eval(c: &mut Criterion) {
         })
         .collect();
 
-    c.bench_function("map_64_frames", |b| {
-        b.iter(|| {
-            let mut acc = MapAccumulator::new();
-            for (gt, pred) in &frames {
-                acc.add_frame(gt, pred);
-            }
-            acc.finalize(0.5).map
-        })
+    bench("eval/map_64_frames", || {
+        let mut acc = MapAccumulator::new();
+        for (gt, pred) in &frames {
+            acc.add_frame(gt, pred);
+        }
+        acc.finalize(0.5).map
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_features, bench_kernels, bench_scheduler, bench_eval
+fn main() {
+    println!("{:-<60}", "");
+    bench_features();
+    bench_kernels();
+    bench_scheduler();
+    bench_eval();
+    println!("{:-<60}", "");
 }
-criterion_main!(benches);

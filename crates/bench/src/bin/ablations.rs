@@ -38,7 +38,10 @@ fn main() {
     let no_switch = Arc::new(no_switch);
 
     let mut t1 = TextTable::new(&["Optimizer", "mAP (%)", "P95 (ms)", "Switches"]);
-    for (name, trained) in [("with C(b0,b)", suite.frcnn.clone()), ("without C(b0,b)", no_switch)] {
+    for (name, trained) in [
+        ("with C(b0,b)", suite.frcnn.clone()),
+        ("without C(b0,b)", no_switch),
+    ] {
         let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, slo, 6000);
         let r = run_adaptive(
             &suite.val_videos,
@@ -54,10 +57,18 @@ fn main() {
             r.switches.len().to_string(),
         ]);
     }
-    println!("\nAblation 1: switching-cost term in the optimizer ({slo} ms, TX2)\n{}", t1.render());
+    println!(
+        "\nAblation 1: switching-cost term in the optimizer ({slo} ms, TX2)\n{}",
+        t1.render()
+    );
 
     // --- Ablation 2: feature selection policy. ---------------------------
-    let mut t2 = TextTable::new(&["Feature policy", "mAP (%)", "P95 (ms)", "Scheduler ms/frame"]);
+    let mut t2 = TextTable::new(&[
+        "Feature policy",
+        "mAP (%)",
+        "P95 (ms)",
+        "Scheduler ms/frame",
+    ]);
     let policies: [(&str, Policy); 3] = [
         ("cost-benefit (paper)", Policy::CostBenefit),
         ("none (MinCost)", Policy::MinCost),
@@ -68,15 +79,27 @@ fn main() {
     ];
     for (i, (name, policy)) in policies.iter().enumerate() {
         let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, slo, 6100 + i as u64);
-        let r = run_adaptive(&suite.val_videos, suite.frcnn.clone(), *policy, &cfg, &mut suite.svc);
+        let r = run_adaptive(
+            &suite.val_videos,
+            suite.frcnn.clone(),
+            *policy,
+            &cfg,
+            &mut suite.svc,
+        );
         t2.add_row_owned(vec![
             name.to_string(),
             format!("{:.1}", r.map_pct()),
             format!("{:.1}", r.latency.p95()),
-            format!("{:.2}", r.breakdown.scheduler_ms / r.breakdown.frames.max(1) as f64),
+            format!(
+                "{:.2}",
+                r.breakdown.scheduler_ms / r.breakdown.frames.max(1) as f64
+            ),
         ]);
     }
-    println!("Ablation 2: feature selection policy ({slo} ms, TX2)\n{}", t2.render());
+    println!(
+        "Ablation 2: feature selection policy ({slo} ms, TX2)\n{}",
+        t2.render()
+    );
 
     // --- Ablation 3: feasibility headroom. --------------------------------
     let mut t3 = TextTable::new(&["Headroom", "mAP (%)", "P95 (ms)", "Meets SLO"]);
@@ -91,7 +114,10 @@ fn main() {
             if r.1 <= slo { "yes" } else { "NO" }.to_string(),
         ]);
     }
-    println!("Ablation 3: feasibility headroom ({slo} ms, TX2)\n{}", t3.render());
+    println!(
+        "Ablation 3: feasibility headroom ({slo} ms, TX2)\n{}",
+        t3.render()
+    );
 
     // --- Ablation 4: snippet length N. ------------------------------------
     // Shorter snippets = finer-grained but noisier labels; very long
@@ -129,7 +155,10 @@ fn main() {
             format!("{:.3}", regret / ds.len().max(1) as f32),
         ]);
     }
-    println!("Ablation 4: snippet length N (offline label granularity)\n{}", t4.render());
+    println!(
+        "Ablation 4: snippet length N (offline label granularity)\n{}",
+        t4.render()
+    );
 
     // --- Ablation 5: optimizer (paper's SGD+momentum vs Adam). -----------
     // Retrains the light accuracy model with both optimizers on identical
@@ -189,8 +218,8 @@ fn run_with_headroom(suite: &mut Suite, headroom: f64, cfg: &RunConfig) -> (f64,
     let trained = suite.frcnn.clone();
     let mut device = DeviceSim::new(cfg.device, cfg.contention_pct, cfg.seed);
     let mut mbek = lr_kernels::Mbek::new(trained.family);
-    let mut scheduler = Scheduler::new(trained.clone(), Policy::CostBenefit, cfg.slo_ms)
-        .with_headroom(headroom);
+    let mut scheduler =
+        Scheduler::new(trained.clone(), Policy::CostBenefit, cfg.slo_ms).with_headroom(headroom);
     let mut sampler = OnlineSwitchSampler::new(trained.switching);
     for b in &trained.catalog {
         sampler.preheat(b.key());
@@ -225,8 +254,7 @@ fn run_with_headroom(suite: &mut Suite, headroom: f64, cfg: &RunConfig) -> (f64,
             let frames = &video.frames[t..end];
             let light = suite.svc.light(video, t, &boxes);
             let result = mbek.run_gof(frames, &mut device);
-            let per_frame =
-                (sched_ms + switch_ms + result.kernel_ms()) / frames.len() as f64;
+            let per_frame = (sched_ms + switch_ms + result.kernel_ms()) / frames.len() as f64;
             for (truth, dets) in frames.iter().zip(result.per_frame.iter()) {
                 acc.add_frame(&to_gt_boxes(truth), &to_pred_boxes(dets));
                 lat.record(per_frame);

@@ -31,7 +31,13 @@ fn main() {
         ),
     ];
 
-    let mut table = TextTable::new(&["Strategy", "SLO (ms)", "mAP (%)", "Mean latency (ms)", "P95 (ms)"]);
+    let mut table = TextTable::new(&[
+        "Strategy",
+        "SLO (ms)",
+        "mAP (%)",
+        "Mean latency (ms)",
+        "P95 (ms)",
+    ]);
     for (si, (name, policy)) in strategies.iter().enumerate() {
         for (li, &slo) in slos.iter().enumerate() {
             let cfg = RunConfig::clean(

@@ -53,7 +53,7 @@ fn main() {
                 0.0,
                 slo,
                 4000 + pi as u64 * 10 + li as u64,
-            &mut suite.svc,
+                &mut suite.svc,
             );
             let b = &r.breakdown;
             let pct = |ms: f64| format!("{:.1}", 100.0 * b.fraction_of_slo(ms, slo));
@@ -69,7 +69,12 @@ fn main() {
                 pct(b.switch_ms),
                 pct(b.overhead_ms),
                 pct(b.total_ms()),
-                if meets { "yes" } else { "NO (bar omitted in paper)" }.to_string(),
+                if meets {
+                    "yes"
+                } else {
+                    "NO (bar omitted in paper)"
+                }
+                .to_string(),
             ]);
             eprintln!(
                 "[figure3] {} @{slo}: det {} trk {} model {} switch {}",

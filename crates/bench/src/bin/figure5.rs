@@ -36,10 +36,8 @@ fn main() {
             latency::detector_base_ms(DetectorFamily::FasterRcnn, DetectorConfig::new(ss, sn));
         let mut row = vec![format!("{ss}x{sn}")];
         for &(ds, dn) in &AXES {
-            let dst_ms = latency::detector_base_ms(
-                DetectorFamily::FasterRcnn,
-                DetectorConfig::new(ds, dn),
-            );
+            let dst_ms =
+                latency::detector_base_ms(DetectorFamily::FasterRcnn, DetectorConfig::new(ds, dn));
             row.push(format!("{:.1}", model.offline_cost_ms(src_ms, dst_ms)));
         }
         offline.add_row_owned(row);

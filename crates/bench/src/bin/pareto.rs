@@ -40,7 +40,12 @@ fn main() {
         }
     }
 
-    let mut table = TextTable::new(&["Branch", "Mean kernel ms/frame", "Mean snippet mAP", "Pareto"]);
+    let mut table = TextTable::new(&[
+        "Branch",
+        "Mean kernel ms/frame",
+        "Mean snippet mAP",
+        "Pareto",
+    ]);
     for (i, (name, ms, map)) in rows.iter().enumerate() {
         table.add_row_owned(vec![
             name.clone(),
@@ -49,7 +54,10 @@ fn main() {
             if frontier[i] { "*" } else { "" }.to_string(),
         ]);
     }
-    println!("\nBranch accuracy-latency space ({} branches, offline labels)\n", rows.len());
+    println!(
+        "\nBranch accuracy-latency space ({} branches, offline labels)\n",
+        rows.len()
+    );
     println!("{}", table.render());
     let n_frontier = frontier.iter().filter(|&&f| f).count();
     println!(

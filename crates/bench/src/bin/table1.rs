@@ -48,8 +48,10 @@ fn main() {
         } else {
             OpUnit::Cpu
         };
-        let mean: f64 =
-            (0..200).map(|_| dev.charge(unit, c.extract_ms)).sum::<f64>() / 200.0;
+        let mean: f64 = (0..200)
+            .map(|_| dev.charge(unit, c.extract_ms))
+            .sum::<f64>()
+            / 200.0;
         check.add_row_owned(vec![
             kind.name().to_string(),
             format!("{:.2}", c.extract_ms),

@@ -17,7 +17,12 @@ fn main() {
     // validation videos gives stable mAP at a fraction of the cost.
     let heavy_videos = &suite.val_videos[..suite.val_videos.len().min(4)];
 
-    let mut table = TextTable::new(&["Model, latency SLO", "mAP (%)", "Mean latency (ms)", "Memory (GB)"]);
+    let mut table = TextTable::new(&[
+        "Model, latency SLO",
+        "mAP (%)",
+        "Mean latency (ms)",
+        "Memory (GB)",
+    ]);
 
     for model in HeavyModel::all() {
         match run_heavy_model(model, heavy_videos, DeviceKind::JetsonTx2, 1) {
@@ -59,11 +64,7 @@ fn main() {
 
     // AdaScale multi-scale: the real adaptive controller.
     {
-        let r = litereconfig::protocols::run_adascale_ms(
-            heavy_videos,
-            DeviceKind::JetsonTx2,
-            5,
-        );
+        let r = litereconfig::protocols::run_adascale_ms(heavy_videos, DeviceKind::JetsonTx2, 5);
         table.add_row_owned(vec![
             "AdaScale-MS, no SLO".to_string(),
             format!("{:.1}", r.map_pct()),

@@ -24,10 +24,7 @@ fn main() {
         Policy::ForcedFeatureFree(FeatureKind::Light),
     )];
     for kind in HEAVY_FEATURE_KINDS {
-        configs.push((
-            kind.name().to_string(),
-            Policy::ForcedFeatureFree(kind),
-        ));
+        configs.push((kind.name().to_string(), Policy::ForcedFeatureFree(kind)));
     }
 
     for (row_idx, (name, policy)) in configs.iter().enumerate() {

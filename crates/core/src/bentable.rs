@@ -102,9 +102,7 @@ impl BenTable {
         self.slos
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                (*a - slo_ms).abs().total_cmp(&(*b - slo_ms).abs())
-            })
+            .min_by(|(_, a), (_, b)| (*a - slo_ms).abs().total_cmp(&(*b - slo_ms).abs()))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -141,7 +139,7 @@ fn best_feasible(
     let mut best: Option<(usize, f32)> = None;
     for (i, &p) in predicted.iter().enumerate() {
         let ms = record.branch_det_ms[i] + record.branch_trk_ms[i];
-        if ms <= budget_ms && best.map_or(true, |(_, bp)| p > bp) {
+        if ms <= budget_ms && best.is_none_or(|(_, bp)| p > bp) {
             best = Some((i, p));
         }
     }

@@ -43,7 +43,7 @@ impl OfflineConfig {
             catalog,
             family,
             reference_detector: lr_kernels::DetectorConfig::new(576, 100),
-            seed: 0x0FF1_CE,
+            seed: 0x0F_F1_CE,
         }
     }
 }

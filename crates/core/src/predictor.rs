@@ -56,10 +56,7 @@ impl Scaler {
         // Floor the std well above machine epsilon: dimensions that are
         // (near-)constant in training would otherwise blow up at inference
         // when a new video activates them (e.g. an unseen HoC bin).
-        let std = var
-            .into_iter()
-            .map(|s| (s / n).sqrt().max(2e-2))
-            .collect();
+        let std = var.into_iter().map(|s| (s / n).sqrt().max(2e-2)).collect();
         Self { mean, std }
     }
 
@@ -378,7 +375,10 @@ mod tests {
         let rows = vec![vec![0.0, 10.0], vec![2.0, 30.0], vec![4.0, 50.0]];
         let s = Scaler::fit(&rows);
         let t = s.transform(&[2.0, 30.0]);
-        assert!(t.iter().all(|v| v.abs() < 1e-5), "mean row -> zeros, got {t:?}");
+        assert!(
+            t.iter().all(|v| v.abs() < 1e-5),
+            "mean row -> zeros, got {t:?}"
+        );
     }
 
     #[test]
@@ -439,7 +439,10 @@ mod tests {
             .unwrap();
         let dense_ms = lm.predict_kernel_ms(dense_heavy, light, 1.0, 1.0);
         let tracked_ms = lm.predict_kernel_ms(tracked, light, 1.0, 1.0);
-        assert!(tracked_ms < dense_ms, "tracked {tracked_ms} vs dense {dense_ms}");
+        assert!(
+            tracked_ms < dense_ms,
+            "tracked {tracked_ms} vs dense {dense_ms}"
+        );
     }
 
     #[test]

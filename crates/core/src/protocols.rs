@@ -97,10 +97,7 @@ impl AdaptiveProtocol {
 
     /// Whether the protocol adapts its latency model to contention.
     pub fn contention_adaptive(self) -> bool {
-        !matches!(
-            self,
-            AdaptiveProtocol::SsdPlus | AdaptiveProtocol::YoloPlus
-        )
+        !matches!(self, AdaptiveProtocol::SsdPlus | AdaptiveProtocol::YoloPlus)
     }
 
     /// Fixed per-frame pipeline overhead, ms (ApproxDet's legacy stack,
@@ -145,6 +142,7 @@ impl AdaptiveProtocol {
 
     /// Runs the protocol over videos with a trained scheduler for its
     /// family.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         self,
         videos: &[Video],
@@ -304,10 +302,7 @@ mod tests {
         }
         assert!(!AdaptiveProtocol::SsdPlus.contention_adaptive());
         assert!(AdaptiveProtocol::LiteReconfig.contention_adaptive());
-        assert_eq!(
-            AdaptiveProtocol::LiteReconfig.policy(),
-            Policy::CostBenefit
-        );
+        assert_eq!(AdaptiveProtocol::LiteReconfig.policy(), Policy::CostBenefit);
     }
 
     #[test]

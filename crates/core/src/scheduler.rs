@@ -158,9 +158,25 @@ impl Scheduler {
 
     /// Overrides the feasibility headroom factor.
     pub fn with_headroom(mut self, headroom: f64) -> Self {
+        self.set_headroom(headroom);
+        self
+    }
+
+    /// Changes the feasibility headroom mid-run (a serving layer's
+    /// admission controller tightens it to degrade a stream under
+    /// overload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom` is outside `[0.1, 1]`.
+    pub fn set_headroom(&mut self, headroom: f64) {
         assert!((0.1..=1.0).contains(&headroom), "bad headroom {headroom}");
         self.headroom = headroom;
-        self
+    }
+
+    /// The current feasibility headroom factor.
+    pub fn headroom(&self) -> f64 {
+        self.headroom
     }
 
     /// The active policy.
@@ -236,6 +252,27 @@ impl Scheduler {
         }
     }
 
+    /// Feeds an externally measured GPU slowdown factor straight into the
+    /// latency correction.
+    ///
+    /// The per-GoF ratio EWMA in [`Scheduler::observe_latency`] needs
+    /// several GoFs to converge after a load shift; a serving layer that
+    /// *measures* aggregate GPU occupancy can hand the implied slowdown
+    /// to the scheduler directly, so the very next decision predicts with
+    /// it. The factor is relative to the uncontended device — exactly the
+    /// scale of the detector-latency ratio the EWMA tracks, since the
+    /// latency model was fit on uncontended profiles. No-op when the
+    /// latency model is frozen (non-contention-adaptive baselines).
+    pub fn observe_contention(&mut self, slowdown: f64) {
+        if !self.adaptive_latency {
+            return;
+        }
+        let ratio = slowdown.clamp(0.2, 10.0);
+        const ALPHA: f64 = 0.25;
+        self.gpu_ratio_mean = (1.0 - ALPHA) * self.gpu_ratio_mean + ALPHA * ratio;
+        self.gpu_ratio_sq = (1.0 - ALPHA) * self.gpu_ratio_sq + ALPHA * ratio * ratio;
+    }
+
     /// Expected switching cost from the current branch to `dst`.
     pub fn expected_switch_ms(&self, dst: usize) -> f64 {
         match self.current {
@@ -303,10 +340,8 @@ impl Scheduler {
             light_cost.extract_ms + light_cost.predict_ms + SOLVER_MS
         };
         let fits = |b: usize, extra_sched_ms: f64, this: &Self| -> bool {
-            let amortized =
-                (s0 + extra_sched_ms + this.expected_switch_ms(b)) / this.trained.catalog[b]
-                    .gof_size
-                    .max(1) as f64;
+            let amortized = (s0 + extra_sched_ms + this.expected_switch_ms(b))
+                / this.trained.catalog[b].gof_size.max(1) as f64;
             kernel_pred[b] + this.known_overhead_ms + amortized <= budget
         };
 
@@ -374,9 +409,9 @@ impl Scheduler {
             self.feature_set_cost_ms(&used)
         };
         let mut best: Option<(usize, f32)> = None;
-        for b in 0..n {
-            if fits(b, extra, self) && best.map_or(true, |(_, bp)| a_final[b] > bp) {
-                best = Some((b, a_final[b]));
+        for (b, &ab) in a_final.iter().enumerate().take(n) {
+            if fits(b, extra, self) && best.is_none_or(|(_, bp)| ab > bp) {
+                best = Some((b, ab));
             }
         }
         let (branch_idx, feasible) = match best {
@@ -475,7 +510,7 @@ impl Scheduler {
                         }
                         let value = base + self.trained.ben.set_benefit(&trial, self.slo_ms);
                         if value > current_value + SELECTION_MARGIN
-                            && best_candidate.map_or(true, |(_, v)| value > v)
+                            && best_candidate.is_none_or(|(_, v)| value > v)
                         {
                             best_candidate = Some((kind, value));
                         }
@@ -545,10 +580,7 @@ mod tests {
         );
         let latency = LatencyModel::train(&ds);
         let ben = crate::bentable::BenTable::uniform(
-            &[
-                (FeatureKind::HoC, 0.02),
-                (FeatureKind::MobileNetV2, 0.015),
-            ],
+            &[(FeatureKind::HoC, 0.02), (FeatureKind::MobileNetV2, 0.015)],
             &[33.3, 50.0, 100.0],
         );
         let det_inference_ms = ds
@@ -628,11 +660,7 @@ mod tests {
         let v = test_video();
         let mut svc = FeatureService::new();
         let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 4);
-        let mut s = Scheduler::new(
-            t,
-            Policy::ForcedFeatureFree(FeatureKind::MobileNetV2),
-            33.3,
-        );
+        let mut s = Scheduler::new(t, Policy::ForcedFeatureFree(FeatureKind::MobileNetV2), 33.3);
         let before = dev.now_ms();
         let d = s.decide(&v, 0, &[], &mut svc, &mut dev);
         assert_eq!(dev.now_ms(), before, "free mode must not charge");

@@ -32,7 +32,7 @@ impl TrainConfig {
             model: AccuracyModelConfig::paper(),
             heavy_kinds: lr_features::HEAVY_FEATURE_KINDS.to_vec(),
             slos_ms: vec![20.0, 33.3, 50.0, 100.0],
-            seed: 0x7247_11,
+            seed: 0x72_47_11,
         }
     }
 
@@ -50,7 +50,7 @@ impl TrainConfig {
             model: AccuracyModelConfig::tiny(),
             heavy_kinds: vec![FeatureKind::HoC],
             slos_ms: vec![33.3, 100.0],
-            seed: 0x7247_11,
+            seed: 0x72_47_11,
         }
     }
 

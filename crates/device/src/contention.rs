@@ -19,15 +19,27 @@ pub struct ContentionGenerator {
 impl ContentionGenerator {
     /// Creates a generator at the given GPU contention percentage.
     ///
+    /// # Errors
+    ///
+    /// Returns the offending level if it is outside `[0, 99]` or not
+    /// finite.
+    pub fn try_new(gpu_level_pct: f64) -> Result<Self, f64> {
+        if gpu_level_pct.is_finite() && (0.0..=99.0).contains(&gpu_level_pct) {
+            Ok(Self { gpu_level_pct })
+        } else {
+            Err(gpu_level_pct)
+        }
+    }
+
+    /// Creates a generator at the given GPU contention percentage.
+    ///
     /// # Panics
     ///
-    /// Panics if `gpu_level_pct` is outside `[0, 99]`.
+    /// Panics if `gpu_level_pct` is outside `[0, 99]`. Use
+    /// [`ContentionGenerator::try_new`] for a non-panicking constructor.
     pub fn new(gpu_level_pct: f64) -> Self {
-        assert!(
-            (0.0..=99.0).contains(&gpu_level_pct),
-            "contention level {gpu_level_pct}% outside [0, 99]"
-        );
-        Self { gpu_level_pct }
+        Self::try_new(gpu_level_pct)
+            .unwrap_or_else(|pct| panic!("contention level {pct}% outside [0, 99]"))
     }
 
     /// No contention.
@@ -87,8 +99,10 @@ mod tests {
         assert!((cg.mean_gpu_slowdown() - 2.0).abs() < 1e-9);
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| cg.sample_gpu_slowdown(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| cg.sample_gpu_slowdown(&mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (1.6..2.4).contains(&mean),
             "sampled mean slowdown {mean} far from 2x"
@@ -116,5 +130,49 @@ mod tests {
     #[should_panic(expected = "outside [0, 99]")]
     fn one_hundred_percent_is_rejected() {
         let _ = ContentionGenerator::new(100.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_levels_without_panicking() {
+        assert_eq!(ContentionGenerator::try_new(100.0), Err(100.0));
+        assert_eq!(ContentionGenerator::try_new(-0.5), Err(-0.5));
+        assert!(ContentionGenerator::try_new(f64::NAN).is_err());
+        assert!(ContentionGenerator::try_new(0.0).is_ok());
+        assert!(ContentionGenerator::try_new(99.0).is_ok());
+    }
+
+    #[test]
+    fn mean_slowdown_is_monotone_in_load() {
+        let mut prev = 0.0;
+        for level in 0..=99 {
+            let s = ContentionGenerator::new(level as f64).mean_gpu_slowdown();
+            assert!(
+                s > prev,
+                "mean slowdown not strictly increasing at {level}%: {s} <= {prev}"
+            );
+            prev = s;
+        }
+        // And it is exactly the processor-sharing stretch 1/(1-g).
+        assert!((ContentionGenerator::new(0.0).mean_gpu_slowdown() - 1.0).abs() < 1e-12);
+        assert!((ContentionGenerator::new(50.0).mean_gpu_slowdown() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_slowdown_mean_is_monotone_in_load() {
+        let mut prev = 0.0;
+        for level in [0.0, 20.0, 40.0, 60.0, 80.0, 95.0] {
+            let cg = ContentionGenerator::new(level);
+            let mut rng = StdRng::seed_from_u64(11);
+            let n = 20_000;
+            let mean: f64 = (0..n)
+                .map(|_| cg.sample_gpu_slowdown(&mut rng))
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                mean > prev,
+                "sampled mean slowdown not increasing at {level}%: {mean} <= {prev}"
+            );
+            prev = mean;
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The device simulator: charges op latencies against the virtual clock.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::clock::VirtualClock;
 use crate::contention::ContentionGenerator;
@@ -20,7 +20,40 @@ pub enum OpUnit {
     Cpu,
 }
 
+/// Construction errors for [`DeviceSim`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The requested static contention level is outside `[0, 99]` percent.
+    ContentionOutOfRange(f64),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::ContentionOutOfRange(pct) => {
+                write!(f, "contention level {pct}% outside [0, 99]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
 /// A simulated device: profile + contention + noise + clock.
+///
+/// Contention comes from one of two sources:
+///
+/// - the paper's **static** contention generator (`contention_pct`), an
+///   exogenous knob used by the single-stream experiments; or
+/// - an **external** slowdown factor supplied by a serving layer (see the
+///   `lr-serve` crate), derived endogenously from the measured GPU
+///   occupancy of co-scheduled streams. While set, it overrides the
+///   static generator for GPU ops.
+///
+/// The simulator also keeps per-unit **busy accounting**: cumulative GPU
+/// *demand* (device cycles requested, excluding any contention stretch)
+/// and CPU busy time. The serving layer uses the demand counter to
+/// measure occupancy, which closes the contention feedback loop.
 ///
 /// # Examples
 ///
@@ -31,30 +64,53 @@ pub enum OpUnit {
 /// let charged = dev.charge(OpUnit::Gpu, 30.0);
 /// assert!(charged > 0.0);
 /// assert!((dev.now_ms() - charged).abs() < 1e-9);
+/// assert!((dev.gpu_demand_ms() - charged).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeviceSim {
     profile: DeviceProfile,
     contention: ContentionGenerator,
+    /// Endogenous GPU slowdown factor supplied by a serving layer;
+    /// overrides the static generator while set.
+    external_gpu_slowdown: Option<f64>,
     noise: LatencyNoise,
     clock: VirtualClock,
     rng: StdRng,
+    gpu_demand_ms: f64,
+    cpu_busy_ms: f64,
 }
 
 impl DeviceSim {
+    /// Creates a device simulator, validating the contention level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ContentionOutOfRange`] if `contention_pct`
+    /// is outside `[0, 99]` (or not finite).
+    pub fn try_new(kind: DeviceKind, contention_pct: f64, seed: u64) -> Result<Self, DeviceError> {
+        let contention = ContentionGenerator::try_new(contention_pct)
+            .map_err(|_| DeviceError::ContentionOutOfRange(contention_pct))?;
+        Ok(Self {
+            profile: kind.profile(),
+            contention,
+            external_gpu_slowdown: None,
+            noise: LatencyNoise::default(),
+            clock: VirtualClock::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x0D3B_1CE5),
+            gpu_demand_ms: 0.0,
+            cpu_busy_ms: 0.0,
+        })
+    }
+
     /// Creates a device simulator.
     ///
     /// # Panics
     ///
-    /// Panics if `contention_pct` is outside `[0, 99]`.
+    /// Panics if `contention_pct` is outside `[0, 99]`. Use
+    /// [`DeviceSim::try_new`] for a non-panicking constructor.
     pub fn new(kind: DeviceKind, contention_pct: f64, seed: u64) -> Self {
-        Self {
-            profile: kind.profile(),
-            contention: ContentionGenerator::new(contention_pct),
-            noise: LatencyNoise::default(),
-            clock: VirtualClock::new(),
-            rng: StdRng::seed_from_u64(seed ^ 0x0D3B_1CE5),
-        }
+        Self::try_new(kind, contention_pct, seed)
+            .unwrap_or_else(|e| panic!("DeviceSim::new: {e} (use try_new to handle this)"))
     }
 
     /// Replaces the latency noise model (tests use [`LatencyNoise::none`]).
@@ -68,15 +124,46 @@ impl DeviceSim {
         &self.profile
     }
 
-    /// Current GPU contention level in percent.
+    /// Current GPU contention level in percent (the static generator's;
+    /// an external slowdown is reported by
+    /// [`DeviceSim::external_gpu_slowdown`]).
     pub fn contention_pct(&self) -> f64 {
         self.contention.gpu_level_pct()
     }
 
     /// Changes the contention level mid-run (the paper's CG is toggled
     /// between experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is outside `[0, 99]`.
     pub fn set_contention_pct(&mut self, pct: f64) {
         self.contention = ContentionGenerator::new(pct);
+    }
+
+    /// Supplies an endogenous GPU slowdown factor (≥ 1) measured by a
+    /// serving layer from co-scheduled streams' GPU occupancy. While set
+    /// it replaces the static contention generator for GPU ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or below 1.
+    pub fn set_external_gpu_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "external GPU slowdown {factor} must be finite and >= 1"
+        );
+        self.external_gpu_slowdown = Some(factor);
+    }
+
+    /// The currently supplied external GPU slowdown factor, if any.
+    pub fn external_gpu_slowdown(&self) -> Option<f64> {
+        self.external_gpu_slowdown
+    }
+
+    /// Removes the external slowdown; the static generator applies again.
+    pub fn clear_external_gpu_slowdown(&mut self) {
+        self.external_gpu_slowdown = None;
     }
 
     /// Current virtual time in milliseconds.
@@ -87,6 +174,52 @@ impl DeviceSim {
     /// Resets the virtual clock (not the RNG) to zero.
     pub fn reset_clock(&mut self) {
         self.clock.reset();
+    }
+
+    /// Advances the clock to `ms` without charging any work — the
+    /// device sitting idle (e.g. a paced stream waiting for its next
+    /// frame to arrive). A time already in the past is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is non-finite.
+    pub fn idle_until(&mut self, ms: f64) {
+        assert!(ms.is_finite(), "invalid idle target: {ms}");
+        let gap = ms - self.clock.now_ms();
+        if gap > 0.0 {
+            self.clock.advance(gap);
+        }
+    }
+
+    /// Cumulative GPU cycles demanded, in milliseconds of device time
+    /// *excluding* contention stretch: how long the GPU itself worked for
+    /// this simulator, regardless of how long the op took wall-clock
+    /// under time-sharing. Includes noise (real kernels jitter).
+    pub fn gpu_demand_ms(&self) -> f64 {
+        self.gpu_demand_ms
+    }
+
+    /// Cumulative CPU busy milliseconds (never contention-stretched).
+    pub fn cpu_busy_ms(&self) -> f64 {
+        self.cpu_busy_ms
+    }
+
+    /// The instantaneous GPU contention factor for one op.
+    fn sample_contention(&mut self) -> f64 {
+        match self.external_gpu_slowdown {
+            // Endogenous signal: jitter around the supplied factor the
+            // same way the CG's bursts jitter around its mean.
+            Some(f) => 1.0 + (f - 1.0) * self.rng.gen_range(0.7..1.3),
+            None => self.contention.sample_gpu_slowdown(&mut self.rng),
+        }
+    }
+
+    /// The mean GPU contention factor currently in effect.
+    fn mean_contention(&self) -> f64 {
+        match self.external_gpu_slowdown {
+            Some(f) => f,
+            None => self.contention.mean_gpu_slowdown(),
+        }
     }
 
     /// Charges an op with the given TX2-calibrated base latency; advances
@@ -105,11 +238,16 @@ impl DeviceSim {
             OpUnit::Cpu => self.profile.cpu_speed_factor,
         };
         let contention_factor = match unit {
-            OpUnit::Gpu => self.contention.sample_gpu_slowdown(&mut self.rng),
+            OpUnit::Gpu => self.sample_contention(),
             OpUnit::Cpu => 1.0,
         };
         let noise = self.noise.sample(&mut self.rng);
-        let ms = base_tx2_ms * device_factor * contention_factor * noise;
+        let demand = base_tx2_ms * device_factor * noise;
+        let ms = demand * contention_factor;
+        match unit {
+            OpUnit::Gpu => self.gpu_demand_ms += demand,
+            OpUnit::Cpu => self.cpu_busy_ms += demand,
+        }
         self.clock.advance(ms);
         ms
     }
@@ -117,12 +255,29 @@ impl DeviceSim {
     /// Advances the clock by exactly `ms` (no device, contention, or
     /// noise factors). Used for costs that are already fully sampled
     /// (switching outliers) or that do not scale with the silicon
-    /// (interpreter overhead of a legacy pipeline).
+    /// (interpreter overhead of a legacy pipeline). Not attributed to
+    /// either unit's busy accounting.
     ///
     /// # Panics
     ///
     /// Panics if `ms` is negative or non-finite.
     pub fn charge_fixed(&mut self, ms: f64) -> f64 {
+        self.clock.advance(ms);
+        ms
+    }
+
+    /// Like [`DeviceSim::charge_fixed`] but attributes the time to a
+    /// unit's busy accounting (a branch switch occupies the GPU while the
+    /// new model loads and warms up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or non-finite.
+    pub fn charge_fixed_on(&mut self, unit: OpUnit, ms: f64) -> f64 {
+        match unit {
+            OpUnit::Gpu => self.gpu_demand_ms += ms,
+            OpUnit::Cpu => self.cpu_busy_ms += ms,
+        }
         self.clock.advance(ms);
         ms
     }
@@ -137,7 +292,7 @@ impl DeviceSim {
             OpUnit::Cpu => self.profile.cpu_speed_factor,
         };
         let contention_factor = match unit {
-            OpUnit::Gpu => self.contention.mean_gpu_slowdown(),
+            OpUnit::Gpu => self.mean_contention(),
             OpUnit::Cpu => 1.0,
         };
         base_tx2_ms * device_factor * contention_factor
@@ -164,6 +319,18 @@ mod tests {
     }
 
     #[test]
+    fn idle_until_advances_without_charging() {
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 1);
+        dev.idle_until(125.0);
+        assert!((dev.now_ms() - 125.0).abs() < 1e-9);
+        assert_eq!(dev.gpu_demand_ms(), 0.0);
+        assert_eq!(dev.cpu_busy_ms(), 0.0);
+        // Idling to the past never rewinds the clock.
+        dev.idle_until(50.0);
+        assert!((dev.now_ms() - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn noiseless_tx2_charge_equals_base() {
         let mut dev =
             DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 1).with_noise(LatencyNoise::none());
@@ -175,8 +342,7 @@ mod tests {
     fn xavier_is_faster_than_tx2() {
         let mut tx2 =
             DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 1).with_noise(LatencyNoise::none());
-        let mut xv =
-            DeviceSim::new(DeviceKind::AgxXavier, 0.0, 1).with_noise(LatencyNoise::none());
+        let mut xv = DeviceSim::new(DeviceKind::AgxXavier, 0.0, 1).with_noise(LatencyNoise::none());
         assert!(xv.charge(OpUnit::Gpu, 30.0) < tx2.charge(OpUnit::Gpu, 30.0));
     }
 
@@ -185,10 +351,8 @@ mod tests {
         let mut dev =
             DeviceSim::new(DeviceKind::JetsonTx2, 50.0, 2).with_noise(LatencyNoise::none());
         let n = 2000;
-        let gpu_mean: f64 =
-            (0..n).map(|_| dev.charge(OpUnit::Gpu, 10.0)).sum::<f64>() / n as f64;
-        let cpu_mean: f64 =
-            (0..n).map(|_| dev.charge(OpUnit::Cpu, 10.0)).sum::<f64>() / n as f64;
+        let gpu_mean: f64 = (0..n).map(|_| dev.charge(OpUnit::Gpu, 10.0)).sum::<f64>() / n as f64;
+        let cpu_mean: f64 = (0..n).map(|_| dev.charge(OpUnit::Cpu, 10.0)).sum::<f64>() / n as f64;
         assert!(gpu_mean > 15.0, "gpu mean {gpu_mean} not slowed");
         assert!((cpu_mean - 10.0).abs() < 1e-9, "cpu affected by contention");
     }
@@ -217,5 +381,62 @@ mod tests {
         let _ = dev.charge(OpUnit::Gpu, 10.0);
         dev.reset_clock();
         assert_eq!(dev.now_ms(), 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_contention() {
+        assert_eq!(
+            DeviceSim::try_new(DeviceKind::JetsonTx2, 120.0, 1).unwrap_err(),
+            DeviceError::ContentionOutOfRange(120.0)
+        );
+        assert_eq!(
+            DeviceSim::try_new(DeviceKind::JetsonTx2, -1.0, 1).unwrap_err(),
+            DeviceError::ContentionOutOfRange(-1.0)
+        );
+        assert!(DeviceSim::try_new(DeviceKind::JetsonTx2, 99.0, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "use try_new")]
+    fn new_panics_with_clear_message() {
+        let _ = DeviceSim::new(DeviceKind::JetsonTx2, 250.0, 1);
+    }
+
+    #[test]
+    fn external_slowdown_overrides_static_contention() {
+        let mut dev =
+            DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 5).with_noise(LatencyNoise::none());
+        dev.set_external_gpu_slowdown(3.0);
+        let n = 2000;
+        let mean: f64 = (0..n).map(|_| dev.charge(OpUnit::Gpu, 10.0)).sum::<f64>() / n as f64;
+        assert!(
+            (25.0..35.0).contains(&mean),
+            "mean {mean} far from 3x slowdown"
+        );
+        // CPU unaffected.
+        assert_eq!(dev.charge(OpUnit::Cpu, 10.0), 10.0);
+        // Expected-latency queries see the external factor too.
+        assert!((dev.expected_ms(OpUnit::Gpu, 10.0) - 30.0).abs() < 1e-9);
+        dev.clear_external_gpu_slowdown();
+        assert_eq!(dev.charge(OpUnit::Gpu, 10.0), 10.0);
+    }
+
+    #[test]
+    fn demand_accounting_excludes_contention_stretch() {
+        let mut dev =
+            DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 6).with_noise(LatencyNoise::none());
+        dev.set_external_gpu_slowdown(4.0);
+        let charged = dev.charge(OpUnit::Gpu, 10.0);
+        assert!(charged > 20.0, "contention must stretch the charge");
+        // ...but the demand is the un-stretched 10 ms of GPU cycles.
+        assert!((dev.gpu_demand_ms() - 10.0).abs() < 1e-9);
+        dev.charge(OpUnit::Cpu, 7.0);
+        assert!((dev.cpu_busy_ms() - 7.0).abs() < 1e-9);
+        dev.charge_fixed_on(OpUnit::Gpu, 2.5);
+        assert!((dev.gpu_demand_ms() - 12.5).abs() < 1e-9);
+        // Unattributed fixed charges advance the clock only.
+        let demand_before = dev.gpu_demand_ms();
+        dev.charge_fixed(5.0);
+        assert_eq!(dev.gpu_demand_ms(), demand_before);
     }
 }

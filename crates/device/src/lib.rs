@@ -36,7 +36,7 @@ pub mod switching;
 
 pub use clock::VirtualClock;
 pub use contention::ContentionGenerator;
-pub use executor::{DeviceSim, OpUnit};
+pub use executor::{DeviceError, DeviceSim, OpUnit};
 pub use memory::MemoryModel;
 pub use profile::{DeviceKind, DeviceProfile};
 pub use switching::SwitchingCostModel;

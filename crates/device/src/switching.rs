@@ -108,13 +108,7 @@ impl OnlineSwitchSampler {
     /// destination has never run in this process, a cold miss may add a
     /// 1–5 s outlier. The destination is warm afterwards either way, so
     /// outliers become rarer as the run progresses — matching Figure 5(b).
-    pub fn sample_ms(
-        &mut self,
-        src_ms: f64,
-        dst_ms: f64,
-        dst_key: u64,
-        rng: &mut impl Rng,
-    ) -> f64 {
+    pub fn sample_ms(&mut self, src_ms: f64, dst_ms: f64, dst_key: u64, rng: &mut impl Rng) -> f64 {
         let mut cost = self.model.offline_cost_ms(src_ms, dst_ms) * rng.gen_range(0.7..1.3);
         let outlier_prob = if self.warmed.contains(&dst_key) {
             self.warm_outlier_prob

@@ -234,7 +234,10 @@ mod tests {
     #[test]
     fn perfect_detection_gives_map_one() {
         let mut acc = MapAccumulator::new();
-        acc.add_frame(&[gt(0, 0.0), gt(1, 50.0)], &[pred(0, 0.0, 0.9), pred(1, 50.0, 0.8)]);
+        acc.add_frame(
+            &[gt(0, 0.0), gt(1, 50.0)],
+            &[pred(0, 0.0, 0.9), pred(1, 50.0, 0.8)],
+        );
         let r = acc.finalize(0.5);
         assert!((r.map - 1.0).abs() < 1e-9);
         assert_eq!(r.per_class_ap.len(), 2);
@@ -334,10 +337,7 @@ mod tests {
             let mut acc = MapAccumulator::new();
             for i in 0..50 {
                 let x = i as f32 * 20.0;
-                acc.add_frame(
-                    &[gt(0, x)],
-                    &[pred(0, x + off, 0.9 - i as f32 * 0.001)],
-                );
+                acc.add_frame(&[gt(0, x)], &[pred(0, x + off, 0.9 - i as f32 * 0.001)]);
             }
             acc.finalize(0.5).map
         };

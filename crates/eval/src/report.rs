@@ -22,8 +22,11 @@ pub struct ClassReport {
 impl ClassReport {
     /// Builds a report from an mAP result.
     pub fn from_result(result: &MapResult) -> Self {
-        let mut per_class: Vec<(usize, f64)> =
-            result.per_class_ap.iter().map(|(&c, &ap)| (c, ap)).collect();
+        let mut per_class: Vec<(usize, f64)> = result
+            .per_class_ap
+            .iter()
+            .map(|(&c, &ap)| (c, ap))
+            .collect();
         per_class.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Self {
             per_class,
@@ -83,10 +86,7 @@ pub fn per_class_delta(before: &MapResult, after: &MapResult) -> Vec<(usize, f64
     for (&c, &ap) in &after.per_class_ap {
         classes.entry(c).or_insert((0.0, 0.0)).1 = ap;
     }
-    let mut out: Vec<(usize, f64)> = classes
-        .into_iter()
-        .map(|(c, (b, a))| (c, a - b))
-        .collect();
+    let mut out: Vec<(usize, f64)> = classes.into_iter().map(|(c, (b, a))| (c, a - b)).collect();
     out.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
     out
 }
@@ -105,7 +105,14 @@ mod tests {
             let bbox = BBox::new(class as f32 * 50.0, 0.0, 10.0, 10.0);
             let gt = [GtBox { class, bbox }];
             if hit {
-                acc.add_frame(&gt, &[PredBox { class, bbox, score: 0.9 }]);
+                acc.add_frame(
+                    &gt,
+                    &[PredBox {
+                        class,
+                        bbox,
+                        score: 0.9,
+                    }],
+                );
             } else {
                 acc.add_frame(&gt, &[]);
             }

@@ -100,7 +100,10 @@ mod tests {
         let mut b = vec![0.0f32; DIM];
         b[1] = 4.0;
         let v = cpop_vector(&[a, b]);
-        assert!((v[0] - v[1]).abs() < 1e-6, "symmetric proposals must pool equally");
+        assert!(
+            (v[0] - v[1]).abs() < 1e-6,
+            "symmetric proposals must pool equally"
+        );
     }
 
     #[test]

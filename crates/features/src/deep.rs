@@ -63,12 +63,7 @@ impl DeepExtractors {
 /// Converts a planar RGB frame into an `lr-nn` feature map (both are
 /// channel-major, so this is a copy).
 fn to_feature_map(frame: &RgbFrame) -> FeatureMap {
-    FeatureMap::from_chw(
-        3,
-        frame.height(),
-        frame.width(),
-        frame.as_slice().to_vec(),
-    )
+    FeatureMap::from_chw(3, frame.height(), frame.width(), frame.as_slice().to_vec())
 }
 
 #[cfg(test)]

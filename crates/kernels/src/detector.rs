@@ -201,8 +201,7 @@ impl DetectorSim {
             // correlated in time — motion blur, pose, occlusion persist).
             // The draw is a deterministic hash of (stream, object,
             // 12-frame epoch), so its long-run rate is exactly `p_det`.
-            let u_det =
-                persistent_uniform(truth.stream_id, obj.id, truth.frame_index / 12, 0xD0A1);
+            let u_det = persistent_uniform(truth.stream_id, obj.id, truth.frame_index / 12, 0xD0A1);
             if u_det < p_det {
                 // Localization jitter shrinks with shape, grows with blur.
                 let jitter =
@@ -212,13 +211,8 @@ impl DetectorSim {
                 let dy = randn(rng) * jitter * obj.bbox.h;
                 let sw = (randn(rng) * jitter).exp();
                 let sh = (randn(rng) * jitter).exp();
-                let bbox = BBox::from_center(
-                    cx + dx,
-                    cy + dy,
-                    obj.bbox.w * sw,
-                    obj.bbox.h * sh,
-                )
-                .clamped(truth.width, truth.height);
+                let bbox = BBox::from_center(cx + dx, cy + dy, obj.bbox.w * sw, obj.bbox.h * sh)
+                    .clamped(truth.width, truth.height);
 
                 // Classification confusion: small/difficult objects are
                 // mislabeled more often. Confusion is also persistent (a
@@ -231,19 +225,14 @@ impl DetectorSim {
                 let (class, score_factor) = if u_cls < p_correct {
                     (obj.class, 1.0)
                 } else {
-                    let pick = persistent_uniform(
-                        truth.stream_id,
-                        obj.id,
-                        truth.frame_index / 12,
-                        0x07E2,
-                    );
+                    let pick =
+                        persistent_uniform(truth.stream_id, obj.id, truth.frame_index / 12, 0x07E2);
                     // A wrong label comes with a weaker logit: confused
                     // detections rank below confident correct ones, which
                     // is what keeps real detectors' mAP from cratering.
                     (stable_other_class(obj.class, pick), 0.55)
                 };
-                let score =
-                    (p_det * score_factor * rng.gen_range(0.75..1.0)).clamp(0.05, 0.999);
+                let score = (p_det * score_factor * rng.gen_range(0.75..1.0)).clamp(0.05, 0.999);
                 if bbox.is_valid() {
                     detections.push(Detection {
                         bbox,
@@ -283,7 +272,9 @@ impl DetectorSim {
 
         // Remaining proposals are background.
         let bg_slots = if q.uses_proposals {
-            (cfg.nprop as usize).min(12).saturating_sub(proposal_logits.len())
+            (cfg.nprop as usize)
+                .min(12)
+                .saturating_sub(proposal_logits.len())
         } else {
             4usize.saturating_sub(proposal_logits.len())
         };
@@ -406,7 +397,11 @@ mod tests {
             let detected: std::collections::HashSet<u32> =
                 out.detections.iter().filter_map(|d| d.gt_id).collect();
             total += f.objects.len();
-            hits += f.objects.iter().filter(|o| detected.contains(&o.id)).count();
+            hits += f
+                .objects
+                .iter()
+                .filter(|o| detected.contains(&o.id))
+                .count();
         }
         hits as f32 / total.max(1) as f32
     }
@@ -559,8 +554,7 @@ mod tests {
     fn poisson_mean_is_roughly_lambda() {
         let mut rng = StdRng::seed_from_u64(8);
         let n = 20_000;
-        let mean: f32 =
-            (0..n).map(|_| poisson(1.5, &mut rng) as f32).sum::<f32>() / n as f32;
+        let mean: f32 = (0..n).map(|_| poisson(1.5, &mut rng) as f32).sum::<f32>() / n as f32;
         assert!((1.3..1.7).contains(&mean), "poisson mean {mean}");
     }
 }

@@ -115,8 +115,6 @@ mod tests {
 
     #[test]
     fn tracker_cost_scales_with_object_count() {
-        assert!(
-            tracker_base_ms(TrackerKind::Kcf, 1, 8) > tracker_base_ms(TrackerKind::Kcf, 1, 1)
-        );
+        assert!(tracker_base_ms(TrackerKind::Kcf, 1, 8) > tracker_base_ms(TrackerKind::Kcf, 1, 1));
     }
 }

@@ -109,10 +109,12 @@ impl Mbek {
         let mut tracker_ms = 0.0;
 
         // Detection frame.
-        let det_base =
-            latency::detector_base_ms(self.detector.family(), branch.detector) * self.latency_factor;
+        let det_base = latency::detector_base_ms(self.detector.family(), branch.detector)
+            * self.latency_factor;
         detector_ms += device.charge(OpUnit::Gpu, det_base);
-        let first_output = self.detector.detect(&frames[0], branch.detector, device.rng());
+        let first_output = self
+            .detector
+            .detect(&frames[0], branch.detector, device.rng());
         per_frame.push(first_output.detections.clone());
         if let Some(tracker) = &mut self.tracker {
             tracker.reinit(&first_output.detections, &frames[0]);
@@ -176,10 +178,14 @@ mod tests {
         assert!(r.detector_ms > 0.0);
         assert!(r.tracker_ms > 0.0);
         // One detection charge: far below 8x the detector cost.
-        assert!(r.detector_ms < 2.0 * latency::detector_base_ms(
-            DetectorFamily::FasterRcnn,
-            crate::branch::DetectorConfig::new(448, 20),
-        ));
+        assert!(
+            r.detector_ms
+                < 2.0
+                    * latency::detector_base_ms(
+                        DetectorFamily::FasterRcnn,
+                        crate::branch::DetectorConfig::new(448, 20),
+                    )
+        );
     }
 
     #[test]

@@ -182,8 +182,7 @@ impl TrackerSim {
                     // Track loss grows with speed and downsampling; the
                     // hazard accumulates against the track's survival
                     // threshold (deterministic per track).
-                    let p_loss =
-                        ((p.base_loss + p.speed_loss * speed_rel) * ds_loss).min(0.5);
+                    let p_loss = ((p.base_loss + p.speed_loss * speed_rel) * ds_loss).min(0.5);
                     track.hazard += p_loss;
                     if track.hazard >= track.loss_threshold {
                         track.locked = false;
@@ -192,10 +191,8 @@ impl TrackerSim {
                         // how far the object moved, minus the tracker's
                         // re-locking pull.
                         let drift_mag = p.drift * speed * ds_drift;
-                        track.offset.0 =
-                            track.offset.0 * (1.0 - p.lock) + randn(rng) * drift_mag;
-                        track.offset.1 =
-                            track.offset.1 * (1.0 - p.lock) + randn(rng) * drift_mag;
+                        track.offset.0 = track.offset.0 * (1.0 - p.lock) + randn(rng) * drift_mag;
+                        track.offset.1 = track.offset.1 * (1.0 - p.lock) + randn(rng) * drift_mag;
                         // Scale adaptation lags the true size.
                         track.scale_err = track.scale_err * (1.0 - p.lock)
                             + randn(rng) * p.drift * 0.05 * ds_drift;
@@ -264,12 +261,7 @@ mod tests {
 
     /// Mean IoU between tracked boxes and their ground-truth objects after
     /// propagating `horizon` frames from a detection at frame `start`.
-    fn mean_iou_after(
-        kind: TrackerKind,
-        ds: u32,
-        horizon: usize,
-        seed: u64,
-    ) -> f32 {
+    fn mean_iou_after(kind: TrackerKind, ds: u32, horizon: usize, seed: u64) -> f32 {
         let v = video();
         let det = DetectorSim::new(DetectorFamily::FasterRcnn);
         let mut rng = StdRng::seed_from_u64(seed);

@@ -5,7 +5,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::layers::{Activation, Dense};
+use crate::layers::Dense;
 use crate::loss;
 use crate::mlp::MlpConfig;
 use crate::tensor::Matrix;
@@ -122,12 +122,11 @@ impl AdamMlp {
         let t = self.step as f32;
         let bc1 = 1.0 - opt.beta1.powf(t);
         let bc2 = 1.0 - opt.beta2.powf(t);
-        for ((layer, (gw, gb)), (wm, bm)) in self
-            .layers
-            .iter_mut()
-            .zip(grads.into_iter())
-            .zip(self.weight_moments.iter_mut().zip(self.bias_moments.iter_mut()))
-        {
+        for ((layer, (gw, gb)), (wm, bm)) in self.layers.iter_mut().zip(grads).zip(
+            self.weight_moments
+                .iter_mut()
+                .zip(self.bias_moments.iter_mut()),
+        ) {
             adam_update(
                 layer.weights_mut(),
                 &gw,
@@ -267,10 +266,7 @@ mod tests {
             .fit(&x, &y, crate::Sgd::plain(1e-5), 100, 16, &mut rng)
             .last()
             .unwrap();
-        assert!(
-            adam_loss < sgd_loss,
-            "adam {adam_loss} vs sgd {sgd_loss}"
-        );
+        assert!(adam_loss < sgd_loss, "adam {adam_loss} vs sgd {sgd_loss}");
     }
 
     #[test]

@@ -65,8 +65,8 @@ pub fn fit_ridge(xs: &[Vec<f32>], ys: &[f32], lambda: f32) -> Option<LinearModel
         for i in 0..n {
             let xi = aug(i);
             b[i] += xi * y as f64;
-            for j in 0..n {
-                a[i][j] += xi * aug(j);
+            for (j, aij) in a[i].iter_mut().enumerate() {
+                *aij += xi * aug(j);
             }
         }
     }
@@ -95,15 +95,17 @@ pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<
         a.swap(col, pivot);
         b.swap(col, pivot);
         // Eliminate below.
-        for row in col + 1..n {
-            let f = a[row][col] / a[col][col];
+        let (upper, lower) = a.split_at_mut(col + 1);
+        let pivot_row = &upper[col];
+        for (off, row) in lower.iter_mut().enumerate() {
+            let f = row[col] / pivot_row[col];
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            for (x, &p) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *x -= f * p;
             }
-            b[row] -= f * b[col];
+            b[col + 1 + off] -= f * b[col];
         }
     }
     // Back substitution.

@@ -172,12 +172,7 @@ impl Mlp {
                 grad.scale_in_place(opt.grad_clip / norm);
             }
         }
-        for (layer, vel) in self
-            .layers
-            .iter_mut()
-            .zip(self.velocities.iter_mut())
-            .rev()
-        {
+        for (layer, vel) in self.layers.iter_mut().zip(self.velocities.iter_mut()).rev() {
             grad = layer.backward(&grad);
             layer.apply_update(opt.learning_rate, opt.momentum, opt.weight_decay, vel);
         }

@@ -1,0 +1,260 @@
+//! SLO-aware admission control.
+//!
+//! Before a stream is scheduled it must be admitted: the controller
+//! estimates the GPU demand fraction the stream will put on the shared
+//! device and only admits it while the aggregate stays under capacity.
+//! Degradable classes are offered a fallback: admission in a degraded
+//! operating mode (tightened scheduler headroom → cheaper tracker
+//! branches and longer GoFs), booked at their floor demand.
+
+use litereconfig::TrainedScheduler;
+use lr_device::DeviceProfile;
+
+use crate::slo::SloClass;
+
+/// The controller's verdict for one offered stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Admitted at full quality.
+    Admitted,
+    /// Admitted, but in the degraded operating mode.
+    Degraded,
+    /// Rejected: admitting it would overload the device for everyone.
+    Rejected,
+}
+
+/// SLO-aware admission controller for one shared device.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    capacity_fraction: f64,
+    committed: f64,
+}
+
+impl AdmissionController {
+    /// Creates a controller that keeps the sum of booked GPU demand
+    /// fractions at or below `capacity_fraction` (of one GPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity_fraction` is in `(0, 1]`.
+    pub fn new(capacity_fraction: f64) -> Self {
+        assert!(
+            capacity_fraction > 0.0 && capacity_fraction <= 1.0,
+            "capacity fraction {capacity_fraction} outside (0, 1]"
+        );
+        Self {
+            capacity_fraction,
+            committed: 0.0,
+        }
+    }
+
+    /// GPU demand fraction currently booked.
+    pub fn committed(&self) -> f64 {
+        self.committed
+    }
+
+    /// The *floor* GPU demand fraction of a stream with the given SLO:
+    /// the per-frame GPU milliseconds of the cheapest branch whose GPU
+    /// work alone fits the SLO, over the SLO (the stream's frame
+    /// budget). Returns `None` when no branch fits even in isolation —
+    /// such a stream cannot be served on this device at all.
+    ///
+    /// This is a capacity *estimate*: trackers run on the CPU and the
+    /// scheduler adapts online, so the GPU-only per-branch cost is the
+    /// right currency for GPU admission.
+    pub fn floor_demand_fraction(
+        trained: &TrainedScheduler,
+        profile: &DeviceProfile,
+        slo_ms: f64,
+    ) -> Option<f64> {
+        assert!(slo_ms > 0.0 && slo_ms.is_finite(), "bad SLO {slo_ms}");
+        trained
+            .catalog
+            .iter()
+            .zip(&trained.det_inference_ms)
+            .map(|(b, det_ms)| det_ms * profile.gpu_speed_factor / b.gof_size.max(1) as f64)
+            .filter(|&gpu_per_frame| gpu_per_frame <= slo_ms)
+            .map(|gpu_per_frame| gpu_per_frame / slo_ms)
+            .min_by(f64::total_cmp)
+    }
+
+    /// The *typical* GPU demand fraction of a stream with the given
+    /// SLO: the mean per-frame GPU cost of the SLO-feasible branch set,
+    /// over the SLO. An adaptive stream wanders across exactly that set
+    /// as contention varies — heavy branches when the device is quiet,
+    /// cheap ones under load — so the set's mean is the controller's
+    /// prior for what an admitted stream will actually consume.
+    pub fn typical_demand_fraction(
+        trained: &TrainedScheduler,
+        profile: &DeviceProfile,
+        slo_ms: f64,
+    ) -> Option<f64> {
+        assert!(slo_ms > 0.0 && slo_ms.is_finite(), "bad SLO {slo_ms}");
+        let feasible: Vec<f64> = trained
+            .catalog
+            .iter()
+            .zip(&trained.det_inference_ms)
+            .map(|(b, det_ms)| det_ms * profile.gpu_speed_factor / b.gof_size.max(1) as f64)
+            .filter(|&gpu_per_frame| gpu_per_frame <= slo_ms)
+            .collect();
+        if feasible.is_empty() {
+            return None;
+        }
+        Some(feasible.iter().sum::<f64>() / feasible.len() as f64 / slo_ms)
+    }
+
+    /// Offers a stream of the given class. Books capacity and returns
+    /// the decision; rejected streams book nothing.
+    pub fn offer(
+        &mut self,
+        trained: &TrainedScheduler,
+        profile: &DeviceProfile,
+        class: SloClass,
+    ) -> AdmissionDecision {
+        let Some(floor) = Self::floor_demand_fraction(trained, profile, class.slo_ms()) else {
+            return AdmissionDecision::Rejected;
+        };
+        let typical = Self::typical_demand_fraction(trained, profile, class.slo_ms())
+            .expect("non-empty whenever a floor exists")
+            .min(1.0);
+        if self.committed + typical <= self.capacity_fraction {
+            self.committed += typical;
+            AdmissionDecision::Admitted
+        } else if class.degradable() && self.committed + floor <= self.capacity_fraction {
+            self.committed += floor;
+            AdmissionDecision::Degraded
+        } else {
+            AdmissionDecision::Rejected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litereconfig::offline::{profile_videos, OfflineConfig};
+    use litereconfig::trainer::{train_scheduler, TrainConfig};
+    use litereconfig::FeatureService;
+    use lr_device::DeviceKind;
+    use lr_kernels::branch::small_catalog;
+    use lr_kernels::DetectorFamily;
+    use lr_video::{Video, VideoSpec};
+
+    fn trained() -> TrainedScheduler {
+        let videos: Vec<Video> = (0..2)
+            .map(|i| {
+                Video::generate(VideoSpec {
+                    id: 800 + i,
+                    seed: 4_800 + i as u64,
+                    width: 640.0,
+                    height: 480.0,
+                    num_frames: 60,
+                })
+            })
+            .collect();
+        let mut svc = FeatureService::new();
+        let cfg = OfflineConfig {
+            snippet_len: 30,
+            catalog: small_catalog(),
+            family: DetectorFamily::FasterRcnn,
+            reference_detector: lr_kernels::DetectorConfig::new(576, 100),
+            seed: 21,
+        };
+        let ds = profile_videos(&videos, &cfg, &mut svc);
+        train_scheduler(&ds, DetectorFamily::FasterRcnn, &TrainConfig::tiny())
+    }
+
+    #[test]
+    fn floor_demand_decreases_with_looser_slo() {
+        let t = trained();
+        let profile = DeviceKind::JetsonTx2.profile();
+        let tight = AdmissionController::floor_demand_fraction(&t, &profile, 33.3).unwrap();
+        let loose = AdmissionController::floor_demand_fraction(&t, &profile, 100.0).unwrap();
+        assert!(tight > loose, "tight {tight} <= loose {loose}");
+        assert!(loose > 0.0);
+    }
+
+    #[test]
+    fn xavier_demands_less_than_tx2() {
+        let t = trained();
+        let tx2 =
+            AdmissionController::floor_demand_fraction(&t, &DeviceKind::JetsonTx2.profile(), 50.0)
+                .unwrap();
+        let xavier =
+            AdmissionController::floor_demand_fraction(&t, &DeviceKind::AgxXavier.profile(), 50.0)
+                .unwrap();
+        assert!(xavier < tx2);
+    }
+
+    #[test]
+    fn controller_fills_then_rejects_within_capacity() {
+        let t = trained();
+        let profile = DeviceKind::JetsonTx2.profile();
+        let mut ctl = AdmissionController::new(0.85);
+        let mut admitted = 0;
+        let mut rejected = 0;
+        for _ in 0..64 {
+            match ctl.offer(&t, &profile, SloClass::Bronze) {
+                AdmissionDecision::Admitted => admitted += 1,
+                AdmissionDecision::Degraded => {}
+                AdmissionDecision::Rejected => rejected += 1,
+            }
+        }
+        assert!(admitted > 0, "no stream admitted");
+        assert!(rejected > 0, "capacity never exhausted in 64 offers");
+        assert!(
+            ctl.committed() <= 0.85 + 1e-9,
+            "overbooked: {}",
+            ctl.committed()
+        );
+    }
+
+    #[test]
+    fn typical_demand_is_at_least_the_floor() {
+        let t = trained();
+        let profile = DeviceKind::JetsonTx2.profile();
+        for slo in [33.3, 50.0, 100.0] {
+            let floor = AdmissionController::floor_demand_fraction(&t, &profile, slo).unwrap();
+            let typical = AdmissionController::typical_demand_fraction(&t, &profile, slo).unwrap();
+            assert!(
+                typical >= floor,
+                "typical {typical} < floor {floor} @ {slo}"
+            );
+        }
+    }
+
+    #[test]
+    fn degradable_stream_is_degraded_when_only_its_floor_fits() {
+        let t = trained();
+        let profile = DeviceKind::JetsonTx2.profile();
+        let slo = SloClass::Bronze.slo_ms();
+        let floor = AdmissionController::floor_demand_fraction(&t, &profile, slo).unwrap();
+        let typical = AdmissionController::typical_demand_fraction(&t, &profile, slo).unwrap();
+        // Capacity for one full booking plus a bit more than one floor:
+        // the second offer cannot be admitted, but its floor still fits.
+        let mut ctl = AdmissionController::new((typical + floor * 1.2).min(1.0));
+        assert_eq!(
+            ctl.offer(&t, &profile, SloClass::Bronze),
+            AdmissionDecision::Admitted
+        );
+        assert_eq!(
+            ctl.offer(&t, &profile, SloClass::Bronze),
+            AdmissionDecision::Degraded
+        );
+        assert_eq!(
+            ctl.offer(&t, &profile, SloClass::Bronze),
+            AdmissionDecision::Rejected
+        );
+    }
+
+    #[test]
+    fn gold_is_never_degraded() {
+        let t = trained();
+        let profile = DeviceKind::JetsonTx2.profile();
+        let mut ctl = AdmissionController::new(0.85);
+        for _ in 0..64 {
+            let d = ctl.offer(&t, &profile, SloClass::Gold);
+            assert_ne!(d, AdmissionDecision::Degraded);
+        }
+    }
+}

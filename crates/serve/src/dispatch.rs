@@ -1,0 +1,397 @@
+//! The round-based dispatcher: steps admitted streams GoF-by-GoF in
+//! virtual time, coupling them through the shared device.
+//!
+//! Each stream runs on its own [`DeviceSim`] (private clock and noise
+//! stream), but before every GoF the dispatcher measures the GPU
+//! occupancy the *other* streams put on the [`SharedDevice`] and
+//! injects the implied processor-sharing slowdown into the stream's
+//! device and scheduler. Contention is therefore endogenous: adding a
+//! stream slows every other stream down, and each stream's scheduler
+//! reacts by reconfiguring to cheaper branches — the paper's adaptation
+//! loop, driven by real load instead of a configured knob.
+
+use std::sync::Arc;
+
+use litereconfig::{FeatureService, Policy, RunConfig, StreamPipeline, TrainedScheduler};
+use lr_device::{DeviceKind, DeviceSim};
+use lr_video::Video;
+
+use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::report::{ServeReport, StreamReport};
+use crate::shared::SharedDevice;
+use crate::slo::StreamSpec;
+
+/// Consecutive SLO-violating GoFs before backpressure degrades a
+/// degradable stream mid-run.
+const BACKPRESSURE_GOFS: usize = 8;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Board to simulate.
+    pub device: DeviceKind,
+    /// Whether the admission controller gates streams. With it off,
+    /// every offered stream is admitted at full quality (the overload
+    /// baseline).
+    pub admission_enabled: bool,
+    /// GPU demand fraction the controller may book (of one GPU).
+    pub capacity_fraction: f64,
+    /// Occupancy-measurement window in virtual milliseconds.
+    pub window_ms: f64,
+    /// Priority aging: each priority level is worth this many
+    /// milliseconds of virtual-time head start when picking the next
+    /// stream to step.
+    pub aging_boost_ms: f64,
+    /// Scheduler headroom imposed on degraded streams (cheaper tracker
+    /// branches, longer GoFs).
+    pub degraded_headroom: f64,
+    /// Cap on measured occupancy, keeping slowdowns finite.
+    pub max_occupancy: f64,
+    /// Whether each stream's scheduler adapts its latency model to the
+    /// observed contention (the full LiteReconfig behavior). Disable to
+    /// freeze branch choices, e.g. to measure raw slowdown.
+    pub contention_adaptive: bool,
+    /// Run seed; per-stream seeds are derived from it and the stream's
+    /// first video seed (position-independent, so a stream's private
+    /// noise is identical whether it runs alone or co-scheduled).
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// Defaults tuned for the synthetic workload: 85% bookable
+    /// capacity, 1 s occupancy window, one-GoF-ish aging boost.
+    pub fn new(device: DeviceKind) -> Self {
+        Self {
+            device,
+            admission_enabled: true,
+            capacity_fraction: 0.85,
+            window_ms: 1_000.0,
+            aging_boost_ms: 40.0,
+            degraded_headroom: 0.6,
+            max_occupancy: 0.98,
+            contention_adaptive: true,
+            seed: 0,
+        }
+    }
+
+    /// The same configuration with admission control disabled.
+    pub fn without_admission(mut self) -> Self {
+        self.admission_enabled = false;
+        self
+    }
+}
+
+/// One admitted stream's live state.
+struct ActiveStream {
+    /// Index into the offered specs (and the report).
+    spec_idx: usize,
+    slot: usize,
+    device: DeviceSim,
+    pipeline: StreamPipeline,
+    priority: u8,
+    /// Frame-arrival period: frame `t` exists only from `t · period`.
+    period_ms: f64,
+    degradable: bool,
+    degraded: bool,
+    degraded_midrun: bool,
+    slowdown_sum: f64,
+    gofs: usize,
+    consecutive_violations: usize,
+}
+
+impl ActiveStream {
+    /// Earliest virtual time the next GoF may start: the head frame's
+    /// arrival, or now if the stream has fallen behind its camera.
+    fn ready_ms(&self) -> f64 {
+        let arrival = self.pipeline.frames_done() as f64 * self.period_ms;
+        arrival.max(self.device.now_ms())
+    }
+}
+
+fn stream_seed(base: u64, salt: u64) -> u64 {
+    // SplitMix64 finalizer: decorrelates per-stream noise streams.
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(salt.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Serves the offered streams to completion and reports the outcome.
+///
+/// Streams are offered to the admission controller in order (when
+/// enabled); admitted ones are stepped GoF-by-GoF, always picking the
+/// stream whose aged virtual clock (`local_time − priority·boost`) is
+/// furthest behind, so local clocks stay nearly synchronized and
+/// higher classes run first at ties. Before each GoF the stream's
+/// device and scheduler receive the slowdown measured from the other
+/// streams' occupancy; after it, the GoF's GPU demand is recorded back.
+pub fn serve(
+    specs: &[StreamSpec],
+    trained: Arc<TrainedScheduler>,
+    policy: Policy,
+    cfg: &ServeConfig,
+    svc: &mut FeatureService,
+) -> ServeReport {
+    let profile = cfg.device.profile();
+    let mut controller = AdmissionController::new(cfg.capacity_fraction);
+    let mut shared = SharedDevice::new(cfg.window_ms, cfg.max_occupancy);
+
+    let mut decisions = Vec::with_capacity(specs.len());
+    let mut active: Vec<ActiveStream> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let decision = if cfg.admission_enabled {
+            controller.offer(&trained, &profile, spec.class)
+        } else {
+            AdmissionDecision::Admitted
+        };
+        decisions.push(decision);
+        if decision == AdmissionDecision::Rejected {
+            continue;
+        }
+        let videos: Vec<Video> = spec
+            .videos
+            .iter()
+            .map(|v| Video::generate(v.clone()))
+            .collect();
+        let seed = stream_seed(cfg.seed, spec.videos.first().map_or(0, |v| v.seed));
+        let mut run_cfg = RunConfig::clean(cfg.device, 0.0, spec.class.slo_ms(), seed);
+        run_cfg.contention_adaptive = cfg.contention_adaptive;
+        let mut pipeline = StreamPipeline::new(videos, trained.clone(), policy, &run_cfg);
+        let degraded = decision == AdmissionDecision::Degraded;
+        if degraded {
+            pipeline.set_headroom(cfg.degraded_headroom);
+        }
+        active.push(ActiveStream {
+            spec_idx: i,
+            slot: shared.register(),
+            device: DeviceSim::new(cfg.device, 0.0, seed),
+            pipeline,
+            priority: spec.class.priority(),
+            period_ms: spec.class.frame_period_ms(),
+            degradable: spec.class.degradable(),
+            degraded,
+            degraded_midrun: false,
+            slowdown_sum: 0.0,
+            gofs: 0,
+            consecutive_violations: 0,
+        });
+    }
+
+    // Round-based dispatch with priority aging.
+    while let Some(pick) = active
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.pipeline.finished())
+        .min_by(|(_, a), (_, b)| {
+            let ka = a.ready_ms() - a.priority as f64 * cfg.aging_boost_ms;
+            let kb = b.ready_ms() - b.priority as f64 * cfg.aging_boost_ms;
+            ka.total_cmp(&kb)
+        })
+        .map(|(i, _)| i)
+    {
+        let s = &mut active[pick];
+
+        // Pacing: wait for the GoF's head frame to arrive. A stream can
+        // never run ahead of its camera, so its steady-state GPU demand
+        // fraction is bounded by gpu_ms_per_frame / period.
+        s.device.idle_until(s.ready_ms());
+        let start = s.device.now_ms();
+        let slowdown = shared.slowdown_for(s.slot, start);
+        s.device.set_external_gpu_slowdown(slowdown);
+        s.pipeline.observe_contention(slowdown);
+        let step = s
+            .pipeline
+            .step_gof(svc, &mut s.device)
+            .expect("unfinished stream must step");
+        shared.record(s.slot, start, s.device.now_ms(), step.gpu_demand_ms);
+        s.slowdown_sum += slowdown;
+        s.gofs += 1;
+
+        // Violation-driven backpressure: a degradable stream that keeps
+        // blowing its SLO is pushed into the degraded mode mid-run.
+        if step.per_frame_ms > s.pipeline.slo_ms() {
+            s.consecutive_violations += 1;
+            if s.consecutive_violations >= BACKPRESSURE_GOFS && s.degradable && !s.degraded {
+                s.pipeline.set_headroom(cfg.degraded_headroom);
+                s.degraded = true;
+                s.degraded_midrun = true;
+                s.consecutive_violations = 0;
+            }
+        } else {
+            s.consecutive_violations = 0;
+        }
+    }
+
+    // Assemble the report in offer order.
+    let mut finished: Vec<Option<StreamReport>> = (0..specs.len()).map(|_| None).collect();
+    for s in active {
+        let spec = &specs[s.spec_idx];
+        let slo_ms = spec.class.slo_ms();
+        let mean_slowdown = if s.gofs == 0 {
+            1.0
+        } else {
+            s.slowdown_sum / s.gofs as f64
+        };
+        let result = s.pipeline.into_result();
+        finished[s.spec_idx] = Some(StreamReport {
+            name: spec.name.clone(),
+            class: spec.class,
+            decision: decisions[s.spec_idx],
+            degraded_midrun: s.degraded_midrun,
+            map: result.map,
+            violation_rate: result.latency.violation_rate(slo_ms),
+            frames: result.breakdown.frames,
+            gofs: s.gofs,
+            mean_slowdown,
+            latency: result.latency,
+        });
+    }
+    let streams = specs
+        .iter()
+        .zip(decisions)
+        .zip(finished)
+        .map(|((spec, decision), report)| {
+            report.unwrap_or_else(|| StreamReport {
+                name: spec.name.clone(),
+                class: spec.class,
+                decision,
+                degraded_midrun: false,
+                map: 0.0,
+                latency: lr_eval::LatencyStats::new(),
+                violation_rate: 0.0,
+                frames: 0,
+                gofs: 0,
+                mean_slowdown: 1.0,
+            })
+        })
+        .collect();
+
+    ServeReport {
+        admission_enabled: cfg.admission_enabled,
+        streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::SloClass;
+    use litereconfig::offline::{profile_videos, OfflineConfig};
+    use litereconfig::trainer::{train_scheduler, TrainConfig};
+    use lr_kernels::branch::small_catalog;
+    use lr_kernels::DetectorFamily;
+    use lr_video::VideoSpec;
+
+    fn trained() -> Arc<TrainedScheduler> {
+        let videos: Vec<Video> = (0..2)
+            .map(|i| {
+                Video::generate(VideoSpec {
+                    id: 850 + i,
+                    seed: 5_850 + i as u64,
+                    width: 640.0,
+                    height: 480.0,
+                    num_frames: 60,
+                })
+            })
+            .collect();
+        let mut svc = FeatureService::new();
+        let cfg = OfflineConfig {
+            snippet_len: 30,
+            catalog: small_catalog(),
+            family: DetectorFamily::FasterRcnn,
+            reference_detector: lr_kernels::DetectorConfig::new(576, 100),
+            seed: 33,
+        };
+        let ds = profile_videos(&videos, &cfg, &mut svc);
+        Arc::new(train_scheduler(
+            &ds,
+            DetectorFamily::FasterRcnn,
+            &TrainConfig::tiny(),
+        ))
+    }
+
+    #[test]
+    fn single_stream_serves_to_completion() {
+        let t = trained();
+        let mut svc = FeatureService::new();
+        let specs = vec![StreamSpec::synthetic(0, SloClass::Bronze, 64)];
+        let cfg = ServeConfig::new(DeviceKind::JetsonTx2);
+        let r = serve(&specs, t, Policy::MinCost, &cfg, &mut svc);
+        assert_eq!(r.offered(), 1);
+        assert_eq!(r.rejected(), 0);
+        let s = &r.streams[0];
+        assert_eq!(s.frames, 64);
+        assert!(s.gofs > 0);
+        assert!(s.map > 0.0);
+        // Alone on the device: no endogenous contention.
+        assert!((s.mean_slowdown - 1.0).abs() < 1e-9, "{}", s.mean_slowdown);
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let t = trained();
+        let specs: Vec<StreamSpec> = (0..3)
+            .map(|i| StreamSpec::synthetic(i, SloClass::Silver, 48))
+            .collect();
+        let cfg = ServeConfig::new(DeviceKind::JetsonTx2);
+        let mut svc = FeatureService::new();
+        let a = serve(&specs, t.clone(), Policy::MinCost, &cfg, &mut svc);
+        let b = serve(&specs, t, Policy::MinCost, &cfg, &mut svc);
+        for (x, y) in a.streams.iter().zip(&b.streams) {
+            assert_eq!(x.frames, y.frames);
+            assert_eq!(x.gofs, y.gofs);
+            assert!((x.latency.mean() - y.latency.mean()).abs() < 1e-9);
+            assert!((x.map - y.map).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn admission_off_admits_everything() {
+        let t = trained();
+        let mut svc = FeatureService::new();
+        let specs: Vec<StreamSpec> = (0..6)
+            .map(|i| StreamSpec::synthetic(i, SloClass::Gold, 32))
+            .collect();
+        let cfg = ServeConfig::new(DeviceKind::JetsonTx2).without_admission();
+        let r = serve(&specs, t, Policy::MinCost, &cfg, &mut svc);
+        assert_eq!(r.admitted(), 6);
+        assert_eq!(r.rejected(), 0);
+        // Six co-scheduled streams: everyone observes real contention.
+        for s in &r.streams {
+            assert!(s.mean_slowdown > 1.0, "{} saw {}", s.name, s.mean_slowdown);
+        }
+    }
+
+    #[test]
+    fn co_scheduling_slows_streams_down() {
+        let t = trained();
+        let mut svc = FeatureService::new();
+        let cfg = ServeConfig::new(DeviceKind::JetsonTx2).without_admission();
+
+        let alone = serve(
+            &[StreamSpec::synthetic(0, SloClass::Bronze, 48)],
+            t.clone(),
+            Policy::MinCost,
+            &cfg,
+            &mut svc,
+        );
+        let together = serve(
+            &[
+                StreamSpec::synthetic(0, SloClass::Bronze, 48),
+                StreamSpec::synthetic(1, SloClass::Bronze, 48),
+                StreamSpec::synthetic(2, SloClass::Bronze, 48),
+            ],
+            t,
+            Policy::MinCost,
+            &cfg,
+            &mut svc,
+        );
+        let solo_mean = alone.streams[0].latency.mean();
+        let shared_mean = together.streams[0].latency.mean();
+        assert!(
+            shared_mean > solo_mean,
+            "co-scheduled mean {shared_mean} not above solo mean {solo_mean}"
+        );
+        assert!(together.streams[0].mean_slowdown > 1.05);
+    }
+}

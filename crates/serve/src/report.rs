@@ -1,0 +1,229 @@
+//! Serving outcome: per-stream and aggregate statistics.
+
+use lr_eval::LatencyStats;
+
+use crate::admission::AdmissionDecision;
+use crate::slo::SloClass;
+
+/// Outcome of one offered stream.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Stream name from the spec.
+    pub name: String,
+    /// Service class.
+    pub class: SloClass,
+    /// Admission verdict.
+    pub decision: AdmissionDecision,
+    /// Whether backpressure degraded the stream mid-run (on top of any
+    /// admission-time degradation).
+    pub degraded_midrun: bool,
+    /// mAP over all processed frames (0 for rejected streams).
+    pub map: f64,
+    /// GoF-amortized per-frame latency samples.
+    pub latency: LatencyStats,
+    /// Fraction of frames over the class SLO.
+    pub violation_rate: f64,
+    /// Frames processed.
+    pub frames: usize,
+    /// GoFs executed.
+    pub gofs: usize,
+    /// Mean endogenous GPU slowdown observed across GoFs (1 = alone).
+    pub mean_slowdown: f64,
+}
+
+impl StreamReport {
+    /// True unless the stream was rejected at admission.
+    pub fn admitted(&self) -> bool {
+        self.decision != AdmissionDecision::Rejected
+    }
+}
+
+/// Outcome of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Whether admission control was enabled.
+    pub admission_enabled: bool,
+    /// Per-stream outcomes, in offer order.
+    pub streams: Vec<StreamReport>,
+}
+
+impl ServeReport {
+    /// Streams offered.
+    pub fn offered(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Streams admitted at full quality.
+    pub fn admitted(&self) -> usize {
+        self.streams
+            .iter()
+            .filter(|s| s.decision == AdmissionDecision::Admitted)
+            .count()
+    }
+
+    /// Streams admitted degraded (at admission time).
+    pub fn degraded(&self) -> usize {
+        self.streams
+            .iter()
+            .filter(|s| s.decision == AdmissionDecision::Degraded)
+            .count()
+    }
+
+    /// Streams rejected.
+    pub fn rejected(&self) -> usize {
+        self.streams
+            .iter()
+            .filter(|s| s.decision == AdmissionDecision::Rejected)
+            .count()
+    }
+
+    /// Pooled latency samples of all admitted streams.
+    pub fn admitted_latency(&self) -> LatencyStats {
+        let mut all = LatencyStats::new();
+        for s in self.streams.iter().filter(|s| s.admitted()) {
+            all.merge(&s.latency);
+        }
+        all
+    }
+
+    /// Frame-weighted SLO-violation rate over admitted streams (each
+    /// frame judged against its own stream's class SLO).
+    pub fn admitted_violation_rate(&self) -> f64 {
+        let mut violations = 0.0;
+        let mut frames = 0usize;
+        for s in self.streams.iter().filter(|s| s.admitted()) {
+            violations += s.violation_rate * s.frames as f64;
+            frames += s.frames;
+        }
+        if frames == 0 {
+            0.0
+        } else {
+            violations / frames as f64
+        }
+    }
+
+    /// Mean mAP over admitted streams (unweighted; 0 when none).
+    pub fn admitted_mean_map(&self) -> f64 {
+        let admitted: Vec<_> = self.streams.iter().filter(|s| s.admitted()).collect();
+        if admitted.is_empty() {
+            return 0.0;
+        }
+        admitted.iter().map(|s| s.map).sum::<f64>() / admitted.len() as f64
+    }
+
+    /// A per-stream table plus an aggregate footer.
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:>6} {:>9} {:>6} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6}\n",
+            "stream",
+            "class",
+            "decision",
+            "mAP%",
+            "p50ms",
+            "p95ms",
+            "p99ms",
+            "viol%",
+            "slow",
+            "gofs"
+        ));
+        for s in &self.streams {
+            let decision = match (s.decision, s.degraded_midrun) {
+                (AdmissionDecision::Rejected, _) => "reject".to_string(),
+                (AdmissionDecision::Degraded, _) => "degrade".to_string(),
+                (AdmissionDecision::Admitted, true) => "admit*".to_string(),
+                (AdmissionDecision::Admitted, false) => "admit".to_string(),
+            };
+            if s.admitted() {
+                out.push_str(&format!(
+                    "{:<8} {:>6} {:>9} {:>6.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>6.2} {:>6}\n",
+                    s.name,
+                    s.class.label(),
+                    decision,
+                    s.map * 100.0,
+                    s.latency.percentile(0.5),
+                    s.latency.p95(),
+                    s.latency.p99(),
+                    s.violation_rate * 100.0,
+                    s.mean_slowdown,
+                    s.gofs,
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{:<8} {:>6} {:>9} {:>6} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6}\n",
+                    s.name,
+                    s.class.label(),
+                    decision,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-"
+                ));
+            }
+        }
+        let agg = self.admitted_latency();
+        out.push_str(&format!(
+            "admitted {}/{} (degraded {}, rejected {}) | agg p50 {:.1} p95 {:.1} p99 {:.1} ms | viol {:.1}% | mean mAP {:.1}%\n",
+            self.admitted() + self.degraded(),
+            self.offered(),
+            self.degraded(),
+            self.rejected(),
+            agg.percentile(0.5),
+            agg.p95(),
+            agg.p99(),
+            self.admitted_violation_rate() * 100.0,
+            self.admitted_mean_map() * 100.0,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(name: &str, decision: AdmissionDecision, samples: &[f64]) -> StreamReport {
+        let mut latency = LatencyStats::new();
+        for &s in samples {
+            latency.record(s);
+        }
+        let violation_rate = latency.violation_rate(50.0);
+        StreamReport {
+            name: name.to_string(),
+            class: SloClass::Silver,
+            decision,
+            degraded_midrun: false,
+            map: 0.5,
+            violation_rate,
+            frames: samples.len(),
+            gofs: samples.len().div_ceil(8),
+            mean_slowdown: 1.0,
+            latency,
+        }
+    }
+
+    #[test]
+    fn aggregate_counts_and_rates() {
+        let r = ServeReport {
+            admission_enabled: true,
+            streams: vec![
+                stream("a", AdmissionDecision::Admitted, &[10.0, 60.0]),
+                stream("b", AdmissionDecision::Degraded, &[20.0, 20.0]),
+                stream("c", AdmissionDecision::Rejected, &[]),
+            ],
+        };
+        assert_eq!(r.offered(), 3);
+        assert_eq!(r.admitted(), 1);
+        assert_eq!(r.degraded(), 1);
+        assert_eq!(r.rejected(), 1);
+        assert_eq!(r.admitted_latency().count(), 4);
+        // 1 violation out of 4 admitted frames.
+        assert!((r.admitted_violation_rate() - 0.25).abs() < 1e-9);
+        let table = r.format_table();
+        assert!(table.contains("reject"));
+        assert!(table.contains("degrade"));
+    }
+}

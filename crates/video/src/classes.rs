@@ -86,7 +86,11 @@ impl ObjectClass {
         // rings so 30 classes stay distinguishable.
         let i = self.index();
         let hue = (i as f32 * 360.0 / NUM_CLASSES as f32) % 360.0;
-        let (s, v) = if i % 2 == 0 { (0.85, 0.9) } else { (0.6, 0.65) };
+        let (s, v) = if i.is_multiple_of(2) {
+            (0.85, 0.9)
+        } else {
+            (0.6, 0.65)
+        };
         hsv_to_rgb(hue, s, v)
     }
 }

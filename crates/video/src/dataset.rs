@@ -110,7 +110,10 @@ impl Dataset {
 
     /// The specs of a split.
     pub fn specs(&self, split: Split) -> Vec<VideoSpec> {
-        self.ids(split).into_iter().map(VideoSpec::from_id).collect()
+        self.ids(split)
+            .into_iter()
+            .map(VideoSpec::from_id)
+            .collect()
     }
 
     /// Generates the `index`-th video of a split.

@@ -147,7 +147,15 @@ pub fn rasterize(truth: &FrameTruth, style: &VideoStyle, size: usize) -> RgbFram
 }
 
 /// Fills an axis-aligned ellipse with alpha blending.
-fn fill_ellipse(img: &mut RgbFrame, cx: f32, cy: f32, rx: f32, ry: f32, color: [f32; 3], alpha: f32) {
+fn fill_ellipse(
+    img: &mut RgbFrame,
+    cx: f32,
+    cy: f32,
+    rx: f32,
+    ry: f32,
+    color: [f32; 3],
+    alpha: f32,
+) {
     let x0 = ((cx - rx).floor().max(0.0)) as usize;
     let x1 = ((cx + rx).ceil().min(img.width() as f32 - 1.0)) as usize;
     let y0 = ((cy - ry).floor().max(0.0)) as usize;
@@ -193,10 +201,7 @@ mod tests {
     fn raster_values_are_in_unit_range() {
         let v = sample_video();
         let img = rasterize(&v.frames[0], &v.style, 64);
-        assert!(img
-            .as_slice()
-            .iter()
-            .all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(img.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 
     #[test]

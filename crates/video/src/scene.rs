@@ -200,8 +200,7 @@ impl Scene {
             obj.h = obj.base_h * s;
 
             // Difficulty wanders slightly.
-            obj.difficulty =
-                (obj.difficulty + self.rng.gen_range(-0.01..0.01)).clamp(0.0, 0.95);
+            obj.difficulty = (obj.difficulty + self.rng.gen_range(-0.01..0.01)).clamp(0.0, 0.95);
         }
     }
 

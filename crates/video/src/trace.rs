@@ -19,7 +19,8 @@ use crate::video::{FrameTruth, Video};
 
 /// Serializes a video's ground truth to trace CSV.
 pub fn export_csv(video: &Video) -> String {
-    let mut out = String::from("frame,stream,width,height,regime,id,class,x,y,w,h,vx,vy,difficulty\n");
+    let mut out =
+        String::from("frame,stream,width,height,regime,id,class,x,y,w,h,vx,vy,difficulty\n");
     for f in &video.frames {
         if f.objects.is_empty() {
             out.push_str(&format!(
@@ -71,7 +72,11 @@ pub fn import_csv(csv: &str) -> Result<Vec<FrameTruth>, String> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 14 {
-            return Err(format!("line {}: expected 14 fields, got {}", lineno + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 14 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
         }
         let parse_f = |s: &str, name: &str| -> Result<f32, String> {
             s.parse()
@@ -92,9 +97,7 @@ pub fn import_csv(csv: &str) -> Result<Vec<FrameTruth>, String> {
             .ok_or_else(|| format!("line {}: regime {} out of range", lineno + 1, regime_idx))?;
 
         // Start a new frame when the index advances.
-        let need_new = frames
-            .last()
-            .map_or(true, |f| f.frame_index != frame_index);
+        let need_new = frames.last().is_none_or(|f| f.frame_index != frame_index);
         if need_new {
             frames.push(FrameTruth {
                 stream_id,
@@ -115,7 +118,11 @@ pub fn import_csv(csv: &str) -> Result<Vec<FrameTruth>, String> {
             .parse()
             .map_err(|_| format!("line {}: bad class", lineno + 1))?;
         if class_idx >= crate::classes::NUM_CLASSES {
-            return Err(format!("line {}: class {} out of range", lineno + 1, class_idx));
+            return Err(format!(
+                "line {}: class {} out of range",
+                lineno + 1,
+                class_idx
+            ));
         }
         let obj = GtObject {
             id,

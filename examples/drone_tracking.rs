@@ -48,7 +48,10 @@ fn main() {
     println!("=== drone mission: 20 fps object detection, AGX Xavier ===\n");
     for contention in [0.0, 50.0] {
         println!("-- GPU contention from co-located workloads: {contention:.0}% --");
-        for (label, adaptive) in [("LiteReconfig (contention-adaptive)", true), ("latency-only baseline", false)] {
+        for (label, adaptive) in [
+            ("LiteReconfig (contention-adaptive)", true),
+            ("latency-only baseline", false),
+        ] {
             let mut cfg = RunConfig::clean(DeviceKind::AgxXavier, contention, slo_ms, 11);
             cfg.contention_adaptive = adaptive;
             let r = run_adaptive(
@@ -62,7 +65,11 @@ fn main() {
                 "  {label:<36} mAP {:>5.1}%  P95 {:>6.1} ms  SLO {}",
                 r.map_pct(),
                 r.latency.p95(),
-                if r.meets_slo(slo_ms) { "MET" } else { "VIOLATED" }
+                if r.meets_slo(slo_ms) {
+                    "MET"
+                } else {
+                    "VIOLATED"
+                }
             );
         }
         println!();

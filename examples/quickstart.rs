@@ -41,7 +41,10 @@ fn main() {
         snippet_len: 50,
         ..OfflineConfig::paper(small_catalog(), DetectorFamily::FasterRcnn)
     };
-    println!("profiling {} branches offline...", offline_cfg.catalog.len());
+    println!(
+        "profiling {} branches offline...",
+        offline_cfg.catalog.len()
+    );
     let offline = profile_videos(&train_videos, &offline_cfg, &mut svc);
     println!("profiled {} snippets; training scheduler...", offline.len());
     let trained = Arc::new(train_scheduler(
@@ -63,7 +66,11 @@ fn main() {
     println!("P95 latency      : {:.1} ms", result.latency.p95());
     println!(
         "SLO met          : {}",
-        if result.meets_slo(slo_ms) { "yes" } else { "no" }
+        if result.meets_slo(slo_ms) {
+            "yes"
+        } else {
+            "no"
+        }
     );
     println!("branches used    : {}", result.branches_used.len());
     println!("branch switches  : {}", result.switches.len());

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-9e6ca6cb5bcc6071.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-9e6ca6cb5bcc6071: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

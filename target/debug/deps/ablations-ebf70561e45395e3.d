@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ebf70561e45395e3.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-ebf70561e45395e3: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-5452cb4a875b998e.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-5452cb4a875b998e: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-7b584b67aed37b2d.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-7b584b67aed37b2d: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contention-c82812d1d27dfdb6.d: crates/serve/tests/contention.rs
+
+/root/repo/target/debug/deps/contention-c82812d1d27dfdb6: crates/serve/tests/contention.rs
+
+crates/serve/tests/contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1d06699dcd0123fb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1d06699dcd0123fb: tests/end_to_end.rs
+
+tests/end_to_end.rs:

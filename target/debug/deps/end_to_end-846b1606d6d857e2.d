@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-846b1606d6d857e2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-846b1606d6d857e2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

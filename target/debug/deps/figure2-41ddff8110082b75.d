@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-41ddff8110082b75.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-41ddff8110082b75: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-90621745a96adee3.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-90621745a96adee3: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-a12fbdbada4d7470.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-a12fbdbada4d7470: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-b7f9414d25fceb13.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-b7f9414d25fceb13: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

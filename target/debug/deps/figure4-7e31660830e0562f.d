@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-7e31660830e0562f.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-7e31660830e0562f: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-e4aef56e629a8d9d.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-e4aef56e629a8d9d: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

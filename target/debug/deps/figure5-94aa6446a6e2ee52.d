@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-94aa6446a6e2ee52.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-94aa6446a6e2ee52: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

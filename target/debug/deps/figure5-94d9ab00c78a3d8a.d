@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-94d9ab00c78a3d8a.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-94d9ab00c78a3d8a: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

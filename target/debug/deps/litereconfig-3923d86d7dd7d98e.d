@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/litereconfig-3923d86d7dd7d98e.d: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitereconfig-3923d86d7dd7d98e.rmeta: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bentable.rs:
+crates/core/src/featsvc.rs:
+crates/core/src/offline.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:
+crates/core/src/protocols.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

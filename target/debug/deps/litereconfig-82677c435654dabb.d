@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/litereconfig-82677c435654dabb.d: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/liblitereconfig-82677c435654dabb.rlib: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/liblitereconfig-82677c435654dabb.rmeta: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bentable.rs:
+crates/core/src/featsvc.rs:
+crates/core/src/offline.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:
+crates/core/src/protocols.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/trainer.rs:

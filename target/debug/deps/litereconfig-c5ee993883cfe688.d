@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/litereconfig-c5ee993883cfe688.d: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/litereconfig-c5ee993883cfe688: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bentable.rs:
+crates/core/src/featsvc.rs:
+crates/core/src/offline.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:
+crates/core/src/protocols.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/trainer.rs:

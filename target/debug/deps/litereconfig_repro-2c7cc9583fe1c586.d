@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litereconfig_repro-2c7cc9583fe1c586.d: src/lib.rs
+
+/root/repo/target/debug/deps/litereconfig_repro-2c7cc9583fe1c586: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/litereconfig_repro-a6ea5b19872ec98e.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblitereconfig_repro-a6ea5b19872ec98e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblitereconfig_repro-a6ea5b19872ec98e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litereconfig_repro-d3b3547aaf5ef8c9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitereconfig_repro-d3b3547aaf5ef8c9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

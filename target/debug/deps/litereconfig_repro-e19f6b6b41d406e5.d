@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/litereconfig_repro-e19f6b6b41d406e5.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblitereconfig_repro-e19f6b6b41d406e5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblitereconfig_repro-e19f6b6b41d406e5.rmeta: src/lib.rs
+
+src/lib.rs:

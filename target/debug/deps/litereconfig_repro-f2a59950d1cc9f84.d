@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litereconfig_repro-f2a59950d1cc9f84.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitereconfig_repro-f2a59950d1cc9f84.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

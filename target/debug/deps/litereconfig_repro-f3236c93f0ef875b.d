@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litereconfig_repro-f3236c93f0ef875b.d: src/lib.rs
+
+/root/repo/target/debug/deps/litereconfig_repro-f3236c93f0ef875b: src/lib.rs
+
+src/lib.rs:

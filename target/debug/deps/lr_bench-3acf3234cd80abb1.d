@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lr_bench-3acf3234cd80abb1.d: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/liblr_bench-3acf3234cd80abb1.rlib: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/liblr_bench-3acf3234cd80abb1.rmeta: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/suite.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lr_bench-4f529b96a80d1910.d: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/lr_bench-4f529b96a80d1910: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/suite.rs:

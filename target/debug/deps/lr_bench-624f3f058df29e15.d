@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lr_bench-624f3f058df29e15.d: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/lr_bench-624f3f058df29e15: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lr_bench-b22d72f72ef49d67.d: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/liblr_bench-b22d72f72ef49d67.rlib: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/liblr_bench-b22d72f72ef49d67.rmeta: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/suite.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lr_device-367e0b46b1ab0748.d: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblr_device-367e0b46b1ab0748.rmeta: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/clock.rs:
+crates/device/src/contention.rs:
+crates/device/src/executor.rs:
+crates/device/src/memory.rs:
+crates/device/src/noise.rs:
+crates/device/src/profile.rs:
+crates/device/src/switching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

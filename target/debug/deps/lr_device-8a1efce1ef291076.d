@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lr_device-8a1efce1ef291076.d: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs
+
+/root/repo/target/debug/deps/liblr_device-8a1efce1ef291076.rlib: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs
+
+/root/repo/target/debug/deps/liblr_device-8a1efce1ef291076.rmeta: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs
+
+crates/device/src/lib.rs:
+crates/device/src/clock.rs:
+crates/device/src/contention.rs:
+crates/device/src/executor.rs:
+crates/device/src/memory.rs:
+crates/device/src/noise.rs:
+crates/device/src/profile.rs:
+crates/device/src/switching.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lr_eval-5542cbb9e274968c.d: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblr_eval-5542cbb9e274968c.rmeta: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/latency.rs:
+crates/eval/src/map.rs:
+crates/eval/src/report.rs:
+crates/eval/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

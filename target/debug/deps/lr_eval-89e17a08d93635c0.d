@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lr_eval-89e17a08d93635c0.d: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/lr_eval-89e17a08d93635c0: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/latency.rs:
+crates/eval/src/map.rs:
+crates/eval/src/report.rs:
+crates/eval/src/table.rs:

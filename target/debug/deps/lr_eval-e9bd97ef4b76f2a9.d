@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lr_eval-e9bd97ef4b76f2a9.d: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/liblr_eval-e9bd97ef4b76f2a9.rlib: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/liblr_eval-e9bd97ef4b76f2a9.rmeta: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/latency.rs:
+crates/eval/src/map.rs:
+crates/eval/src/report.rs:
+crates/eval/src/table.rs:

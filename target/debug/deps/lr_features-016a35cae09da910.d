@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lr_features-016a35cae09da910.d: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+/root/repo/target/debug/deps/lr_features-016a35cae09da910: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+crates/features/src/lib.rs:
+crates/features/src/cost.rs:
+crates/features/src/cpop.rs:
+crates/features/src/deep.rs:
+crates/features/src/hoc.rs:
+crates/features/src/hog.rs:
+crates/features/src/light.rs:

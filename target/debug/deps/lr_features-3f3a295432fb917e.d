@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lr_features-3f3a295432fb917e.d: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblr_features-3f3a295432fb917e.rmeta: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs Cargo.toml
+
+crates/features/src/lib.rs:
+crates/features/src/cost.rs:
+crates/features/src/cpop.rs:
+crates/features/src/deep.rs:
+crates/features/src/hoc.rs:
+crates/features/src/hog.rs:
+crates/features/src/light.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

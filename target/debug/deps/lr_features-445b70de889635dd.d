@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lr_features-445b70de889635dd.d: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+/root/repo/target/debug/deps/liblr_features-445b70de889635dd.rlib: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+/root/repo/target/debug/deps/liblr_features-445b70de889635dd.rmeta: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+crates/features/src/lib.rs:
+crates/features/src/cost.rs:
+crates/features/src/cpop.rs:
+crates/features/src/deep.rs:
+crates/features/src/hoc.rs:
+crates/features/src/hog.rs:
+crates/features/src/light.rs:

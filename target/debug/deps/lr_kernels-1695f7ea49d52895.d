@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lr_kernels-1695f7ea49d52895.d: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+/root/repo/target/debug/deps/liblr_kernels-1695f7ea49d52895.rlib: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+/root/repo/target/debug/deps/liblr_kernels-1695f7ea49d52895.rmeta: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/adascale.rs:
+crates/kernels/src/branch.rs:
+crates/kernels/src/detector.rs:
+crates/kernels/src/heavy.rs:
+crates/kernels/src/latency.rs:
+crates/kernels/src/mbek.rs:
+crates/kernels/src/tracker.rs:

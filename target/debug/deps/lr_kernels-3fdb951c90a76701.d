@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lr_kernels-3fdb951c90a76701.d: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+/root/repo/target/debug/deps/lr_kernels-3fdb951c90a76701: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/adascale.rs:
+crates/kernels/src/branch.rs:
+crates/kernels/src/detector.rs:
+crates/kernels/src/heavy.rs:
+crates/kernels/src/latency.rs:
+crates/kernels/src/mbek.rs:
+crates/kernels/src/tracker.rs:

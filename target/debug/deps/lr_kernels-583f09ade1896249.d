@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lr_kernels-583f09ade1896249.d: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblr_kernels-583f09ade1896249.rmeta: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/adascale.rs:
+crates/kernels/src/branch.rs:
+crates/kernels/src/detector.rs:
+crates/kernels/src/heavy.rs:
+crates/kernels/src/latency.rs:
+crates/kernels/src/mbek.rs:
+crates/kernels/src/tracker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

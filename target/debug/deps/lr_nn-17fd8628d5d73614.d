@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lr_nn-17fd8628d5d73614.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/linreg.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs
+
+/root/repo/target/debug/deps/lr_nn-17fd8628d5d73614: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/linreg.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/linreg.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tensor.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lr_nn-67fe50f4e17e027e.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/linreg.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs
+
+/root/repo/target/debug/deps/liblr_nn-67fe50f4e17e027e.rlib: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/linreg.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs
+
+/root/repo/target/debug/deps/liblr_nn-67fe50f4e17e027e.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/linreg.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/linreg.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tensor.rs:

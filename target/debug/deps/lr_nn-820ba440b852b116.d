@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lr_nn-820ba440b852b116.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/linreg.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblr_nn-820ba440b852b116.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/linreg.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/linreg.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

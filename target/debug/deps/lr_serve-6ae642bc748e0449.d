@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lr_serve-6ae642bc748e0449.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblr_serve-6ae642bc748e0449.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/dispatch.rs:
+crates/serve/src/report.rs:
+crates/serve/src/shared.rs:
+crates/serve/src/slo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lr_serve-9be18ccbdc0ab8c9.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+/root/repo/target/debug/deps/lr_serve-9be18ccbdc0ab8c9: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/dispatch.rs:
+crates/serve/src/report.rs:
+crates/serve/src/shared.rs:
+crates/serve/src/slo.rs:

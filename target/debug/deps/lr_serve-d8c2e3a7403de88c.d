@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lr_serve-d8c2e3a7403de88c.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+/root/repo/target/debug/deps/liblr_serve-d8c2e3a7403de88c.rlib: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+/root/repo/target/debug/deps/liblr_serve-d8c2e3a7403de88c.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/dispatch.rs:
+crates/serve/src/report.rs:
+crates/serve/src/shared.rs:
+crates/serve/src/slo.rs:

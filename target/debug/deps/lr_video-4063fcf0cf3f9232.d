@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lr_video-4063fcf0cf3f9232.d: crates/video/src/lib.rs crates/video/src/classes.rs crates/video/src/dataset.rs crates/video/src/geometry.rs crates/video/src/object.rs crates/video/src/raster.rs crates/video/src/regime.rs crates/video/src/scene.rs crates/video/src/trace.rs crates/video/src/video.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblr_video-4063fcf0cf3f9232.rmeta: crates/video/src/lib.rs crates/video/src/classes.rs crates/video/src/dataset.rs crates/video/src/geometry.rs crates/video/src/object.rs crates/video/src/raster.rs crates/video/src/regime.rs crates/video/src/scene.rs crates/video/src/trace.rs crates/video/src/video.rs Cargo.toml
+
+crates/video/src/lib.rs:
+crates/video/src/classes.rs:
+crates/video/src/dataset.rs:
+crates/video/src/geometry.rs:
+crates/video/src/object.rs:
+crates/video/src/raster.rs:
+crates/video/src/regime.rs:
+crates/video/src/scene.rs:
+crates/video/src/trace.rs:
+crates/video/src/video.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lr_video-424a847488398601.d: crates/video/src/lib.rs crates/video/src/classes.rs crates/video/src/dataset.rs crates/video/src/geometry.rs crates/video/src/object.rs crates/video/src/raster.rs crates/video/src/regime.rs crates/video/src/scene.rs crates/video/src/trace.rs crates/video/src/video.rs
+
+/root/repo/target/debug/deps/liblr_video-424a847488398601.rlib: crates/video/src/lib.rs crates/video/src/classes.rs crates/video/src/dataset.rs crates/video/src/geometry.rs crates/video/src/object.rs crates/video/src/raster.rs crates/video/src/regime.rs crates/video/src/scene.rs crates/video/src/trace.rs crates/video/src/video.rs
+
+/root/repo/target/debug/deps/liblr_video-424a847488398601.rmeta: crates/video/src/lib.rs crates/video/src/classes.rs crates/video/src/dataset.rs crates/video/src/geometry.rs crates/video/src/object.rs crates/video/src/raster.rs crates/video/src/regime.rs crates/video/src/scene.rs crates/video/src/trace.rs crates/video/src/video.rs
+
+crates/video/src/lib.rs:
+crates/video/src/classes.rs:
+crates/video/src/dataset.rs:
+crates/video/src/geometry.rs:
+crates/video/src/object.rs:
+crates/video/src/raster.rs:
+crates/video/src/regime.rs:
+crates/video/src/scene.rs:
+crates/video/src/trace.rs:
+crates/video/src/video.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto-056d198c32dcd3c7.d: crates/bench/src/bin/pareto.rs
+
+/root/repo/target/debug/deps/pareto-056d198c32dcd3c7: crates/bench/src/bin/pareto.rs
+
+crates/bench/src/bin/pareto.rs:

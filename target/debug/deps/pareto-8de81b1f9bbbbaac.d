@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto-8de81b1f9bbbbaac.d: crates/bench/src/bin/pareto.rs
+
+/root/repo/target/debug/deps/pareto-8de81b1f9bbbbaac: crates/bench/src/bin/pareto.rs
+
+crates/bench/src/bin/pareto.rs:

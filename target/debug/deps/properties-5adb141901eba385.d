@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5adb141901eba385.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5adb141901eba385: tests/properties.rs
+
+tests/properties.rs:

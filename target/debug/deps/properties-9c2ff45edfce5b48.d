@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9c2ff45edfce5b48.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9c2ff45edfce5b48: tests/properties.rs
+
+tests/properties.rs:

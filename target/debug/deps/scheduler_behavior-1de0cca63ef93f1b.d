@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_behavior-1de0cca63ef93f1b.d: tests/scheduler_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_behavior-1de0cca63ef93f1b.rmeta: tests/scheduler_behavior.rs Cargo.toml
+
+tests/scheduler_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_behavior-36ba66cb3ad2de16.d: tests/scheduler_behavior.rs
+
+/root/repo/target/debug/deps/scheduler_behavior-36ba66cb3ad2de16: tests/scheduler_behavior.rs
+
+tests/scheduler_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_behavior-92ef51e9502a2703.d: tests/scheduler_behavior.rs
+
+/root/repo/target/debug/deps/scheduler_behavior-92ef51e9502a2703: tests/scheduler_behavior.rs
+
+tests/scheduler_behavior.rs:

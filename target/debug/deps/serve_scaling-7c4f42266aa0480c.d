@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_scaling-7c4f42266aa0480c.d: crates/bench/src/bin/serve_scaling.rs
+
+/root/repo/target/debug/deps/serve_scaling-7c4f42266aa0480c: crates/bench/src/bin/serve_scaling.rs
+
+crates/bench/src/bin/serve_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_invariants-21f0774369fd945d.d: tests/substrate_invariants.rs
+
+/root/repo/target/debug/deps/substrate_invariants-21f0774369fd945d: tests/substrate_invariants.rs
+
+tests/substrate_invariants.rs:

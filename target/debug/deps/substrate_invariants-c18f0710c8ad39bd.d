@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_invariants-c18f0710c8ad39bd.d: tests/substrate_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_invariants-c18f0710c8ad39bd.rmeta: tests/substrate_invariants.rs Cargo.toml
+
+tests/substrate_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

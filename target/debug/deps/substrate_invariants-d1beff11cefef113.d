@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_invariants-d1beff11cefef113.d: tests/substrate_invariants.rs
+
+/root/repo/target/debug/deps/substrate_invariants-d1beff11cefef113: tests/substrate_invariants.rs
+
+tests/substrate_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-be2156cba76cb753.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-be2156cba76cb753: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-fcdc08ee38bfc1b4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-fcdc08ee38bfc1b4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-02c7550f8b429b73.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-02c7550f8b429b73: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f618b9f5dbf3ebeb.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f618b9f5dbf3ebeb: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-165e991d7b538f69.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-165e991d7b538f69: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

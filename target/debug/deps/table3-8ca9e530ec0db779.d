@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-8ca9e530ec0db779.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-8ca9e530ec0db779: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

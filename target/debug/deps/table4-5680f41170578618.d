@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-5680f41170578618.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-5680f41170578618: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

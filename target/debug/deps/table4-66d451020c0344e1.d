@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-66d451020c0344e1.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-66d451020c0344e1: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ar_headset-308b73587a9ace12.d: examples/ar_headset.rs Cargo.toml
+
+/root/repo/target/debug/examples/libar_headset-308b73587a9ace12.rmeta: examples/ar_headset.rs Cargo.toml
+
+examples/ar_headset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

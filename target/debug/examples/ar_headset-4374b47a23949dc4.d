@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ar_headset-4374b47a23949dc4.d: examples/ar_headset.rs
+
+/root/repo/target/debug/examples/ar_headset-4374b47a23949dc4: examples/ar_headset.rs
+
+examples/ar_headset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ar_headset-56136c36e6c8486a.d: examples/ar_headset.rs
+
+/root/repo/target/debug/examples/ar_headset-56136c36e6c8486a: examples/ar_headset.rs
+
+examples/ar_headset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drone_tracking-165454bfdbf4c4e5.d: examples/drone_tracking.rs
+
+/root/repo/target/debug/examples/drone_tracking-165454bfdbf4c4e5: examples/drone_tracking.rs
+
+examples/drone_tracking.rs:

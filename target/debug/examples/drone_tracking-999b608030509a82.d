@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drone_tracking-999b608030509a82.d: examples/drone_tracking.rs
+
+/root/repo/target/debug/examples/drone_tracking-999b608030509a82: examples/drone_tracking.rs
+
+examples/drone_tracking.rs:

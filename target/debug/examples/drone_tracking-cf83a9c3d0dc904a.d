@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/drone_tracking-cf83a9c3d0dc904a.d: examples/drone_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrone_tracking-cf83a9c3d0dc904a.rmeta: examples/drone_tracking.rs Cargo.toml
+
+examples/drone_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

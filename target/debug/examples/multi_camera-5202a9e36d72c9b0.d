@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_camera-5202a9e36d72c9b0.d: examples/multi_camera.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_camera-5202a9e36d72c9b0.rmeta: examples/multi_camera.rs Cargo.toml
+
+examples/multi_camera.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_camera-d5873b32d2a1e389.d: examples/multi_camera.rs
+
+/root/repo/target/debug/examples/multi_camera-d5873b32d2a1e389: examples/multi_camera.rs
+
+examples/multi_camera.rs:

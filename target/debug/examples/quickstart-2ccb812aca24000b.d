@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2ccb812aca24000b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2ccb812aca24000b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-66a87627b2d29b31.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-66a87627b2d29b31: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_monitor-0964dc9c193a3184.d: examples/traffic_monitor.rs
+
+/root/repo/target/debug/examples/traffic_monitor-0964dc9c193a3184: examples/traffic_monitor.rs
+
+examples/traffic_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_monitor-450d2f49f59d96c5.d: examples/traffic_monitor.rs
+
+/root/repo/target/debug/examples/traffic_monitor-450d2f49f59d96c5: examples/traffic_monitor.rs
+
+examples/traffic_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traffic_monitor-4731ccf6903d498f.d: examples/traffic_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraffic_monitor-4731ccf6903d498f.rmeta: examples/traffic_monitor.rs Cargo.toml
+
+examples/traffic_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-7e447eeff23c3db5.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-7e447eeff23c3db5: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-ea6636bf2eef0d27.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-ea6636bf2eef0d27: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-bc08e7f9c39dbfdc.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-bc08e7f9c39dbfdc: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-e09700055a87cdc9.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-e09700055a87cdc9: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/contention-ff777a0f4c8815d0.d: crates/serve/tests/contention.rs
+
+/root/repo/target/release/deps/contention-ff777a0f4c8815d0: crates/serve/tests/contention.rs
+
+crates/serve/tests/contention.rs:

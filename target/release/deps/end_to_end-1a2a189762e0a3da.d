@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-1a2a189762e0a3da.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-1a2a189762e0a3da: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-6cea6bc8b6d41c3d.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-6cea6bc8b6d41c3d: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

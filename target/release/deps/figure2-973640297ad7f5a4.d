@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-973640297ad7f5a4.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-973640297ad7f5a4: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-658049d5a66a5dd4.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-658049d5a66a5dd4: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-ceff1b92ae7c5ed0.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-ceff1b92ae7c5ed0: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-3fc06847dc0b3530.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-3fc06847dc0b3530: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

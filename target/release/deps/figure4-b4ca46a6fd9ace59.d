@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-b4ca46a6fd9ace59.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-b4ca46a6fd9ace59: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-81b3abaae558395f.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-81b3abaae558395f: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-ac31be19d8af490a.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-ac31be19d8af490a: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/litereconfig-9612557bfdcba475.d: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/liblitereconfig-9612557bfdcba475.rlib: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/liblitereconfig-9612557bfdcba475.rmeta: crates/core/src/lib.rs crates/core/src/bentable.rs crates/core/src/featsvc.rs crates/core/src/offline.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs crates/core/src/protocols.rs crates/core/src/scheduler.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bentable.rs:
+crates/core/src/featsvc.rs:
+crates/core/src/offline.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:
+crates/core/src/protocols.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/litereconfig_repro-83164e5909f36293.d: src/lib.rs
+
+/root/repo/target/release/deps/litereconfig_repro-83164e5909f36293: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/litereconfig_repro-dd2be3256a74417b.d: src/lib.rs
+
+/root/repo/target/release/deps/liblitereconfig_repro-dd2be3256a74417b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblitereconfig_repro-dd2be3256a74417b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/litereconfig_repro-e2ba424989e309e4.d: src/lib.rs
+
+/root/repo/target/release/deps/liblitereconfig_repro-e2ba424989e309e4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblitereconfig_repro-e2ba424989e309e4.rmeta: src/lib.rs
+
+src/lib.rs:

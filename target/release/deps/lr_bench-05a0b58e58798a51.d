@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lr_bench-05a0b58e58798a51.d: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/liblr_bench-05a0b58e58798a51.rlib: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/liblr_bench-05a0b58e58798a51.rmeta: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/suite.rs:

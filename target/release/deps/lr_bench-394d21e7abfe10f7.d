@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/lr_bench-394d21e7abfe10f7.d: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/lr_bench-394d21e7abfe10f7: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/suite.rs:

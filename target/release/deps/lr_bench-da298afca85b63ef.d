@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lr_bench-da298afca85b63ef.d: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/liblr_bench-da298afca85b63ef.rlib: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/liblr_bench-da298afca85b63ef.rmeta: crates/bench/src/lib.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/suite.rs:

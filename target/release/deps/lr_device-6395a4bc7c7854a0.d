@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lr_device-6395a4bc7c7854a0.d: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs
+
+/root/repo/target/release/deps/liblr_device-6395a4bc7c7854a0.rlib: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs
+
+/root/repo/target/release/deps/liblr_device-6395a4bc7c7854a0.rmeta: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs
+
+crates/device/src/lib.rs:
+crates/device/src/clock.rs:
+crates/device/src/contention.rs:
+crates/device/src/executor.rs:
+crates/device/src/memory.rs:
+crates/device/src/noise.rs:
+crates/device/src/profile.rs:
+crates/device/src/switching.rs:

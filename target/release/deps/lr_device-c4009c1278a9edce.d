@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lr_device-c4009c1278a9edce.d: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs
+
+/root/repo/target/release/deps/lr_device-c4009c1278a9edce: crates/device/src/lib.rs crates/device/src/clock.rs crates/device/src/contention.rs crates/device/src/executor.rs crates/device/src/memory.rs crates/device/src/noise.rs crates/device/src/profile.rs crates/device/src/switching.rs
+
+crates/device/src/lib.rs:
+crates/device/src/clock.rs:
+crates/device/src/contention.rs:
+crates/device/src/executor.rs:
+crates/device/src/memory.rs:
+crates/device/src/noise.rs:
+crates/device/src/profile.rs:
+crates/device/src/switching.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lr_eval-916a043297c530b1.d: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/liblr_eval-916a043297c530b1.rlib: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/liblr_eval-916a043297c530b1.rmeta: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/latency.rs:
+crates/eval/src/map.rs:
+crates/eval/src/report.rs:
+crates/eval/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lr_eval-f69facdf859b6d6a.d: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/lr_eval-f69facdf859b6d6a: crates/eval/src/lib.rs crates/eval/src/latency.rs crates/eval/src/map.rs crates/eval/src/report.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/latency.rs:
+crates/eval/src/map.rs:
+crates/eval/src/report.rs:
+crates/eval/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lr_features-5ce02ad3ffba3b74.d: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+/root/repo/target/release/deps/liblr_features-5ce02ad3ffba3b74.rlib: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+/root/repo/target/release/deps/liblr_features-5ce02ad3ffba3b74.rmeta: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+crates/features/src/lib.rs:
+crates/features/src/cost.rs:
+crates/features/src/cpop.rs:
+crates/features/src/deep.rs:
+crates/features/src/hoc.rs:
+crates/features/src/hog.rs:
+crates/features/src/light.rs:

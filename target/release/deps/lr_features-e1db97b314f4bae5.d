@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lr_features-e1db97b314f4bae5.d: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+/root/repo/target/release/deps/lr_features-e1db97b314f4bae5: crates/features/src/lib.rs crates/features/src/cost.rs crates/features/src/cpop.rs crates/features/src/deep.rs crates/features/src/hoc.rs crates/features/src/hog.rs crates/features/src/light.rs
+
+crates/features/src/lib.rs:
+crates/features/src/cost.rs:
+crates/features/src/cpop.rs:
+crates/features/src/deep.rs:
+crates/features/src/hoc.rs:
+crates/features/src/hog.rs:
+crates/features/src/light.rs:

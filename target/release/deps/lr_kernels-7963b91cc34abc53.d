@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lr_kernels-7963b91cc34abc53.d: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+/root/repo/target/release/deps/lr_kernels-7963b91cc34abc53: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/adascale.rs:
+crates/kernels/src/branch.rs:
+crates/kernels/src/detector.rs:
+crates/kernels/src/heavy.rs:
+crates/kernels/src/latency.rs:
+crates/kernels/src/mbek.rs:
+crates/kernels/src/tracker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lr_kernels-b3c7b078e2381abf.d: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+/root/repo/target/release/deps/liblr_kernels-b3c7b078e2381abf.rlib: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+/root/repo/target/release/deps/liblr_kernels-b3c7b078e2381abf.rmeta: crates/kernels/src/lib.rs crates/kernels/src/adascale.rs crates/kernels/src/branch.rs crates/kernels/src/detector.rs crates/kernels/src/heavy.rs crates/kernels/src/latency.rs crates/kernels/src/mbek.rs crates/kernels/src/tracker.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/adascale.rs:
+crates/kernels/src/branch.rs:
+crates/kernels/src/detector.rs:
+crates/kernels/src/heavy.rs:
+crates/kernels/src/latency.rs:
+crates/kernels/src/mbek.rs:
+crates/kernels/src/tracker.rs:

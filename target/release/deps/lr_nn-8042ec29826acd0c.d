@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lr_nn-8042ec29826acd0c.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/linreg.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs
+
+/root/repo/target/release/deps/lr_nn-8042ec29826acd0c: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/linreg.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/tensor.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/linreg.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tensor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lr_serve-2e262f9c0f6ed935.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+/root/repo/target/release/deps/liblr_serve-2e262f9c0f6ed935.rlib: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+/root/repo/target/release/deps/liblr_serve-2e262f9c0f6ed935.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/dispatch.rs:
+crates/serve/src/report.rs:
+crates/serve/src/shared.rs:
+crates/serve/src/slo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lr_serve-8384d15b3c882e91.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+/root/repo/target/release/deps/lr_serve-8384d15b3c882e91: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/dispatch.rs crates/serve/src/report.rs crates/serve/src/shared.rs crates/serve/src/slo.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/dispatch.rs:
+crates/serve/src/report.rs:
+crates/serve/src/shared.rs:
+crates/serve/src/slo.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lr_video-d9bfbe92d9045643.d: crates/video/src/lib.rs crates/video/src/classes.rs crates/video/src/dataset.rs crates/video/src/geometry.rs crates/video/src/object.rs crates/video/src/raster.rs crates/video/src/regime.rs crates/video/src/scene.rs crates/video/src/trace.rs crates/video/src/video.rs
+
+/root/repo/target/release/deps/lr_video-d9bfbe92d9045643: crates/video/src/lib.rs crates/video/src/classes.rs crates/video/src/dataset.rs crates/video/src/geometry.rs crates/video/src/object.rs crates/video/src/raster.rs crates/video/src/regime.rs crates/video/src/scene.rs crates/video/src/trace.rs crates/video/src/video.rs
+
+crates/video/src/lib.rs:
+crates/video/src/classes.rs:
+crates/video/src/dataset.rs:
+crates/video/src/geometry.rs:
+crates/video/src/object.rs:
+crates/video/src/raster.rs:
+crates/video/src/regime.rs:
+crates/video/src/scene.rs:
+crates/video/src/trace.rs:
+crates/video/src/video.rs:

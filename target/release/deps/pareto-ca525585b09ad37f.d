@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pareto-ca525585b09ad37f.d: crates/bench/src/bin/pareto.rs
+
+/root/repo/target/release/deps/pareto-ca525585b09ad37f: crates/bench/src/bin/pareto.rs
+
+crates/bench/src/bin/pareto.rs:

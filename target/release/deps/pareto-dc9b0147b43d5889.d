@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pareto-dc9b0147b43d5889.d: crates/bench/src/bin/pareto.rs
+
+/root/repo/target/release/deps/pareto-dc9b0147b43d5889: crates/bench/src/bin/pareto.rs
+
+crates/bench/src/bin/pareto.rs:

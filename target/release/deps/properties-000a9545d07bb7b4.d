@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-000a9545d07bb7b4.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-000a9545d07bb7b4: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler_behavior-82b2254231f058af.d: tests/scheduler_behavior.rs
+
+/root/repo/target/release/deps/scheduler_behavior-82b2254231f058af: tests/scheduler_behavior.rs
+
+tests/scheduler_behavior.rs:

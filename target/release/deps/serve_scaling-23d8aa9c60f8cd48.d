@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_scaling-23d8aa9c60f8cd48.d: crates/bench/src/bin/serve_scaling.rs
+
+/root/repo/target/release/deps/serve_scaling-23d8aa9c60f8cd48: crates/bench/src/bin/serve_scaling.rs
+
+crates/bench/src/bin/serve_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate_invariants-b16bd97a925d31f6.d: tests/substrate_invariants.rs
+
+/root/repo/target/release/deps/substrate_invariants-b16bd97a925d31f6: tests/substrate_invariants.rs
+
+tests/substrate_invariants.rs:

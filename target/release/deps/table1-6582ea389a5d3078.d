@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-6582ea389a5d3078.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-6582ea389a5d3078: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

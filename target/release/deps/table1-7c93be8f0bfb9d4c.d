@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-7c93be8f0bfb9d4c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-7c93be8f0bfb9d4c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

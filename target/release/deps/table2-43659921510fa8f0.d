@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-43659921510fa8f0.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-43659921510fa8f0: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

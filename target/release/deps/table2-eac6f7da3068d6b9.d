@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-eac6f7da3068d6b9.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-eac6f7da3068d6b9: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-27a52ee5bc96014c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-27a52ee5bc96014c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-ff9fd16f0e8d6f8a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-ff9fd16f0e8d6f8a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

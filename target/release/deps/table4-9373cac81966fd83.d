@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-9373cac81966fd83.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-9373cac81966fd83: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

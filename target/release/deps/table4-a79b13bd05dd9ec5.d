@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-a79b13bd05dd9ec5.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-a79b13bd05dd9ec5: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

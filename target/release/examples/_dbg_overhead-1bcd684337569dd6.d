@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_dbg_overhead-1bcd684337569dd6.d: examples/_dbg_overhead.rs
+
+/root/repo/target/release/examples/_dbg_overhead-1bcd684337569dd6: examples/_dbg_overhead.rs
+
+examples/_dbg_overhead.rs:

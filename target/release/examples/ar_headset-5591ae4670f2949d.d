@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ar_headset-5591ae4670f2949d.d: examples/ar_headset.rs
+
+/root/repo/target/release/examples/ar_headset-5591ae4670f2949d: examples/ar_headset.rs
+
+examples/ar_headset.rs:

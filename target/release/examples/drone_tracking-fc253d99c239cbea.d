@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/drone_tracking-fc253d99c239cbea.d: examples/drone_tracking.rs
+
+/root/repo/target/release/examples/drone_tracking-fc253d99c239cbea: examples/drone_tracking.rs
+
+examples/drone_tracking.rs:

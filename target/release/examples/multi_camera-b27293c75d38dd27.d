@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_camera-b27293c75d38dd27.d: examples/multi_camera.rs
+
+/root/repo/target/release/examples/multi_camera-b27293c75d38dd27: examples/multi_camera.rs
+
+examples/multi_camera.rs:

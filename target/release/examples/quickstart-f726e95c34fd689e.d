@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f726e95c34fd689e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f726e95c34fd689e: examples/quickstart.rs
+
+examples/quickstart.rs:

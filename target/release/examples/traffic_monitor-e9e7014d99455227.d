@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/traffic_monitor-e9e7014d99455227.d: examples/traffic_monitor.rs
+
+/root/repo/target/release/examples/traffic_monitor-e9e7014d99455227: examples/traffic_monitor.rs
+
+examples/traffic_monitor.rs:

@@ -132,8 +132,7 @@ fn mobilenet_variant_pays_for_its_feature() {
     // Paying 163 ms per decision under a 33 ms budget must cost either
     // latency or accuracy relative to the content-agnostic variant.
     assert!(
-        mobilenet.latency.p95() > mincost.latency.p95() - 1.0
-            || mobilenet.map < mincost.map + 0.02
+        mobilenet.latency.p95() > mincost.latency.p95() - 1.0 || mobilenet.map < mincost.map + 0.02
     );
 }
 
@@ -156,9 +155,8 @@ fn preheating_suppresses_switching_outliers() {
     let cold = run_adaptive(&val, trained.clone(), Policy::CostBenefit, &cfg, &mut svc);
     cfg.preheat = true;
     let warm = run_adaptive(&val, trained, Policy::CostBenefit, &cfg, &mut svc);
-    let outliers = |r: &litereconfig::RunResult| {
-        r.switches.iter().filter(|s| s.cost_ms > 500.0).count()
-    };
+    let outliers =
+        |r: &litereconfig::RunResult| r.switches.iter().filter(|s| s.cost_ms > 500.0).count();
     assert!(
         outliers(&warm) <= outliers(&cold),
         "preheating must not add outliers"

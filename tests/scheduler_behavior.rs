@@ -160,11 +160,8 @@ fn committed_branch_has_zero_switch_cost() {
 fn feature_counts_respect_policy_caps() {
     let (trained, video, mut svc) = build();
     let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 5);
-    let mut max_content = Scheduler::new(
-        trained.clone(),
-        Policy::MaxContent(FeatureKind::HoC),
-        200.0,
-    );
+    let mut max_content =
+        Scheduler::new(trained.clone(), Policy::MaxContent(FeatureKind::HoC), 200.0);
     let mut cost_benefit = Scheduler::new(trained.clone(), Policy::CostBenefit, 200.0);
     for t in [0usize, 8, 16] {
         let d = max_content.decide(&video, t, &[], &mut svc, &mut dev);

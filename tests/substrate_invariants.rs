@@ -37,7 +37,10 @@ fn branch_keys_are_stable_and_unique_across_catalogs() {
     // Spot-check a canonical key value so accidental reordering of the
     // key bit layout is caught.
     let b = Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4);
-    assert_eq!(b.key(), Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4).key());
+    assert_eq!(
+        b.key(),
+        Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4).key()
+    );
 }
 
 /// The detector must degrade monotonically as the GoF ages under
