@@ -22,8 +22,11 @@ use lr_video::{Dataset, Split};
 
 fn main() {
     let scale = scale_from_args();
-    let mut suite = Suite::build(scale);
+    let suite = Suite::build(scale);
     let slo = 33.3;
+    let raster_size = suite.svc.raster_size();
+    let pool = lr_pool::Pool::from_env();
+    let fresh_svc = || litereconfig::FeatureService::with_raster_size(raster_size);
 
     // --- Ablation 1: switching-cost term on/off. -------------------------
     // Turning the term off is equivalent to a zero-cost switching model in
@@ -38,24 +41,27 @@ fn main() {
     let no_switch = Arc::new(no_switch);
 
     let mut t1 = TextTable::new(&["Optimizer", "mAP (%)", "P95 (ms)", "Switches"]);
-    for (name, trained) in [
+    let optimizer_arms = [
         ("with C(b0,b)", suite.frcnn.clone()),
         ("without C(b0,b)", no_switch),
-    ] {
+    ];
+    for row in pool.par_map_init(&optimizer_arms, fresh_svc, |svc, _, (name, trained)| {
         let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, slo, 6000);
         let r = run_adaptive(
             &suite.val_videos,
-            trained,
+            trained.clone(),
             Policy::CostBenefit,
             &cfg,
-            &mut suite.svc,
+            svc,
         );
-        t1.add_row_owned(vec![
+        vec![
             name.to_string(),
             format!("{:.1}", r.map_pct()),
             format!("{:.1}", r.latency.p95()),
             r.switches.len().to_string(),
-        ]);
+        ]
+    }) {
+        t1.add_row_owned(row);
     }
     println!(
         "\nAblation 1: switching-cost term in the optimizer ({slo} ms, TX2)\n{}",
@@ -77,16 +83,10 @@ fn main() {
             Policy::MaxContent(lr_features::FeatureKind::MobileNetV2),
         ),
     ];
-    for (i, (name, policy)) in policies.iter().enumerate() {
+    for row in pool.par_map_init(&policies, fresh_svc, |svc, i, (name, policy)| {
         let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, slo, 6100 + i as u64);
-        let r = run_adaptive(
-            &suite.val_videos,
-            suite.frcnn.clone(),
-            *policy,
-            &cfg,
-            &mut suite.svc,
-        );
-        t2.add_row_owned(vec![
+        let r = run_adaptive(&suite.val_videos, suite.frcnn.clone(), *policy, &cfg, svc);
+        vec![
             name.to_string(),
             format!("{:.1}", r.map_pct()),
             format!("{:.1}", r.latency.p95()),
@@ -94,7 +94,9 @@ fn main() {
                 "{:.2}",
                 r.breakdown.scheduler_ms / r.breakdown.frames.max(1) as f64
             ),
-        ]);
+        ]
+    }) {
+        t2.add_row_owned(row);
     }
     println!(
         "Ablation 2: feature selection policy ({slo} ms, TX2)\n{}",
@@ -103,16 +105,19 @@ fn main() {
 
     // --- Ablation 3: feasibility headroom. --------------------------------
     let mut t3 = TextTable::new(&["Headroom", "mAP (%)", "P95 (ms)", "Meets SLO"]);
-    for (i, headroom) in [1.0, 0.95, 0.88, 0.75].into_iter().enumerate() {
+    let headrooms = [1.0, 0.95, 0.88, 0.75];
+    for row in pool.par_map_init(&headrooms, fresh_svc, |svc, i, &headroom| {
         let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, slo, 6200 + i as u64);
         // Reimplement the inner loop with a custom scheduler headroom.
-        let r = run_with_headroom(&mut suite, headroom, &cfg);
-        t3.add_row_owned(vec![
+        let r = run_with_headroom(&suite, svc, headroom, &cfg);
+        vec![
             format!("{headroom:.2}"),
             format!("{:.1}", r.0),
             format!("{:.1}", r.1),
             if r.1 <= slo { "yes" } else { "NO" }.to_string(),
-        ]);
+        ]
+    }) {
+        t3.add_row_owned(row);
     }
     println!(
         "Ablation 3: feasibility headroom ({slo} ms, TX2)\n{}",
@@ -130,12 +135,12 @@ fn main() {
     } else {
         &[50, 100, 200]
     };
-    for &n in lens {
+    for row in pool.par_map_init(lens, fresh_svc, |svc, _, &n| {
         let cfg = OfflineConfig {
             snippet_len: n,
             ..OfflineConfig::paper(scale.frcnn_catalog(), DetectorFamily::FasterRcnn)
         };
-        let ds = profile_videos(&train_videos, &cfg, &mut suite.svc);
+        let ds = profile_videos(&train_videos, &cfg, svc);
         let trained = train_scheduler(&ds, DetectorFamily::FasterRcnn, &scale.train_config());
         let light = &trained.accuracy[&lr_features::FeatureKind::Light];
         let mut regret = 0.0f32;
@@ -149,11 +154,13 @@ fn main() {
             }
             regret += ds.oracle_map_under_budget(r, 100.0) - r.branch_map[best.0];
         }
-        t4.add_row_owned(vec![
+        vec![
             n.to_string(),
             ds.len().to_string(),
             format!("{:.3}", regret / ds.len().max(1) as f32),
-        ]);
+        ]
+    }) {
+        t4.add_row_owned(row);
     }
     println!(
         "Ablation 4: snippet length N (offline label granularity)\n{}",
@@ -208,8 +215,14 @@ fn main() {
 
 /// Runs the full policy with a custom scheduler headroom; returns
 /// (mAP %, P95 ms). This duplicates a small part of `run_adaptive` because
-/// headroom is a scheduler-construction parameter.
-fn run_with_headroom(suite: &mut Suite, headroom: f64, cfg: &RunConfig) -> (f64, f64) {
+/// headroom is a scheduler-construction parameter. The feature service is
+/// passed separately so concurrent arms can each use their own cache.
+fn run_with_headroom(
+    suite: &Suite,
+    svc: &mut litereconfig::FeatureService,
+    headroom: f64,
+    cfg: &RunConfig,
+) -> (f64, f64) {
     use litereconfig::offline::{to_gt_boxes, to_pred_boxes};
     use lr_device::switching::OnlineSwitchSampler;
     use lr_device::DeviceSim;
@@ -232,7 +245,7 @@ fn run_with_headroom(suite: &mut Suite, headroom: f64, cfg: &RunConfig) -> (f64,
         let mut t = 0usize;
         while t < video.len() {
             let before = device.now_ms();
-            let d = scheduler.decide(video, t, &boxes, &mut suite.svc, &mut device);
+            let d = scheduler.decide(video, t, &boxes, svc, &mut device);
             let sched_ms = device.now_ms() - before;
             let mut switch_ms = 0.0;
             if scheduler.current_branch() != Some(d.branch_idx) || mbek.branch().is_none() {
@@ -252,7 +265,7 @@ fn run_with_headroom(suite: &mut Suite, headroom: f64, cfg: &RunConfig) -> (f64,
             let branch = trained.catalog[d.branch_idx];
             let end = (t + branch.gof_size.max(1) as usize).min(video.len());
             let frames = &video.frames[t..end];
-            let light = suite.svc.light(video, t, &boxes);
+            let light = svc.light(video, t, &boxes);
             let result = mbek.run_gof(frames, &mut device);
             let per_frame = (sched_ms + switch_ms + result.kernel_ms()) / frames.len() as f64;
             for (truth, dets) in frames.iter().zip(result.per_frame.iter()) {

@@ -10,14 +10,14 @@
 //! Usage: `cargo run --release -p lr-bench --bin figure2 [small|paper]`
 
 use litereconfig::pipeline::{run_adaptive, RunConfig};
-use litereconfig::Policy;
+use litereconfig::{FeatureService, Policy};
 use lr_bench::{scale_from_args, Suite};
 use lr_device::DeviceKind;
 use lr_eval::TextTable;
 use lr_features::FeatureKind;
 
 fn main() {
-    let mut suite = Suite::build(scale_from_args());
+    let suite = Suite::build(scale_from_args());
     let slos = [25.0, 33.3, 50.0, 66.7, 100.0];
     let strategies = [
         ("content-agnostic", Policy::MinCost),
@@ -38,30 +38,38 @@ fn main() {
         "Mean latency (ms)",
         "P95 (ms)",
     ]);
-    for (si, (name, policy)) in strategies.iter().enumerate() {
-        for (li, &slo) in slos.iter().enumerate() {
+    // Independent (strategy, SLO) cells fan out over the pool; rows come
+    // back in sweep order with per-worker feature caches.
+    let cells: Vec<(usize, usize)> = (0..strategies.len())
+        .flat_map(|si| (0..slos.len()).map(move |li| (si, li)))
+        .collect();
+    let raster_size = suite.svc.raster_size();
+    let pool = lr_pool::Pool::from_env();
+    let rows = pool.par_map_init(
+        &cells,
+        || FeatureService::with_raster_size(raster_size),
+        |svc, _, &(si, li)| {
+            let (name, policy) = &strategies[si];
+            let slo = slos[li];
             let cfg = RunConfig::clean(
                 DeviceKind::JetsonTx2,
                 0.0,
                 slo,
                 3000 + si as u64 * 10 + li as u64,
             );
-            let r = run_adaptive(
-                &suite.val_videos,
-                suite.frcnn.clone(),
-                *policy,
-                &cfg,
-                &mut suite.svc,
-            );
+            let r = run_adaptive(&suite.val_videos, suite.frcnn.clone(), *policy, &cfg, svc);
             eprintln!("[figure2] {name} @{slo} -> {:.1}", r.map_pct());
-            table.add_row_owned(vec![
+            vec![
                 name.to_string(),
                 format!("{slo}"),
                 format!("{:.1}", r.map_pct()),
                 format!("{:.1}", r.latency.mean()),
                 format!("{:.1}", r.latency.p95()),
-            ]);
-        }
+            ]
+        },
+    );
+    for row in rows {
+        table.add_row_owned(row);
     }
     println!("\nFigure 2 data: accuracy vs latency per strategy (TX2, no contention)\n");
     println!("{}", table.render());

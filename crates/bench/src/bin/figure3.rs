@@ -39,28 +39,47 @@ fn main() {
         "Total (%SLO)",
         "Meets SLO",
     ]);
-    for (pi, protocol) in protocols.iter().enumerate() {
-        let trained: Arc<TrainedScheduler> = match protocol.family() {
-            DetectorFamily::Ssd => ssd.clone(),
-            DetectorFamily::Yolo => yolo.clone(),
-            _ => suite.frcnn.clone(),
-        };
-        for (li, &slo) in slos.iter().enumerate() {
+    // One cell per (protocol, SLO); fan out with per-worker feature
+    // caches and emit the rows in sweep order.
+    let cells: Vec<(usize, usize)> = (0..protocols.len())
+        .flat_map(|pi| (0..slos.len()).map(move |li| (pi, li)))
+        .collect();
+    let raster_size = suite.svc.raster_size();
+    let pool = lr_pool::Pool::from_env();
+    let rows = pool.par_map_init(
+        &cells,
+        || litereconfig::FeatureService::with_raster_size(raster_size),
+        |svc, _, &(pi, li)| {
+            let protocol = protocols[pi];
+            let trained: Arc<TrainedScheduler> = match protocol.family() {
+                DetectorFamily::Ssd => ssd.clone(),
+                DetectorFamily::Yolo => yolo.clone(),
+                _ => suite.frcnn.clone(),
+            };
+            let slo = slos[li];
             let r = protocol.run(
                 &suite.val_videos,
-                trained.clone(),
+                trained,
                 DeviceKind::JetsonTx2,
                 0.0,
                 slo,
                 4000 + pi as u64 * 10 + li as u64,
-                &mut suite.svc,
+                svc,
             );
             let b = &r.breakdown;
             let pct = |ms: f64| format!("{:.1}", 100.0 * b.fraction_of_slo(ms, slo));
             // The paper omits bars for protocols that cannot satisfy the
             // SLO (ApproxDet at 33.3/50 ms).
             let meets = r.meets_slo(slo);
-            table.add_row_owned(vec![
+            eprintln!(
+                "[figure3] {} @{slo}: det {} trk {} model {} switch {}",
+                protocol.name(),
+                pct(b.detector_ms),
+                pct(b.tracker_ms),
+                pct(b.scheduler_ms),
+                pct(b.switch_ms)
+            );
+            vec![
                 protocol.name().to_string(),
                 format!("{slo}"),
                 pct(b.detector_ms),
@@ -75,16 +94,11 @@ fn main() {
                     "NO (bar omitted in paper)"
                 }
                 .to_string(),
-            ]);
-            eprintln!(
-                "[figure3] {} @{slo}: det {} trk {} model {} switch {}",
-                protocol.name(),
-                pct(b.detector_ms),
-                pct(b.tracker_ms),
-                pct(b.scheduler_ms),
-                pct(b.switch_ms)
-            );
-        }
+            ]
+        },
+    );
+    for row in rows {
+        table.add_row_owned(row);
     }
     println!("\nFigure 3 data: per-component mean frame latency as % of the SLO (TX2)\n");
     println!("{}", table.render());

@@ -27,41 +27,51 @@ fn main() {
         "Switches @33.3ms",
     ]);
 
-    for (pi, protocol) in AdaptiveProtocol::all().iter().enumerate() {
-        let trained: Arc<TrainedScheduler> = match protocol.family() {
-            DetectorFamily::Ssd => ssd.clone(),
-            DetectorFamily::Yolo => yolo.clone(),
-            _ => suite.frcnn.clone(),
-        };
-        let mut coverage = Vec::new();
-        let mut switches33 = 0usize;
-        for (li, &slo) in slos.iter().enumerate() {
+    // One cell per (protocol, SLO); fan out and regroup by protocol from
+    // the order-preserved results.
+    let protocols = AdaptiveProtocol::all();
+    let cells: Vec<(usize, usize)> = (0..protocols.len())
+        .flat_map(|pi| (0..slos.len()).map(move |li| (pi, li)))
+        .collect();
+    let raster_size = suite.svc.raster_size();
+    let pool = lr_pool::Pool::from_env();
+    let measured: Vec<(usize, usize)> = pool.par_map_init(
+        &cells,
+        || litereconfig::FeatureService::with_raster_size(raster_size),
+        |svc, _, &(pi, li)| {
+            let protocol = protocols[pi];
+            let trained: Arc<TrainedScheduler> = match protocol.family() {
+                DetectorFamily::Ssd => ssd.clone(),
+                DetectorFamily::Yolo => yolo.clone(),
+                _ => suite.frcnn.clone(),
+            };
+            let slo = slos[li];
             let r = protocol.run(
                 &suite.val_videos,
-                trained.clone(),
+                trained,
                 DeviceKind::JetsonTx2,
                 0.0,
                 slo,
                 5000 + pi as u64 * 10 + li as u64,
-                &mut suite.svc,
+                svc,
             );
-            coverage.push(r.branches_used.len());
-            if li == 0 {
-                switches33 = r.switches.len();
-            }
             eprintln!(
                 "[figure4] {} @{slo}: {} branches, {} switches",
                 protocol.name(),
                 r.branches_used.len(),
                 r.switches.len()
             );
-        }
+            (r.branches_used.len(), r.switches.len())
+        },
+    );
+    for (pi, protocol) in protocols.iter().enumerate() {
+        let per_slo = &measured[pi * slos.len()..(pi + 1) * slos.len()];
         table.add_row_owned(vec![
             protocol.name().to_string(),
-            coverage[0].to_string(),
-            coverage[1].to_string(),
-            coverage[2].to_string(),
-            switches33.to_string(),
+            per_slo[0].0.to_string(),
+            per_slo[1].0.to_string(),
+            per_slo[2].0.to_string(),
+            per_slo[0].1.to_string(),
         ]);
     }
     println!("\nFigure 4 data: branch coverage per protocol (TX2, no contention)\n");

@@ -46,24 +46,34 @@ fn main() {
     println!("{}", offline.render());
 
     // (b) Online switching costs observed in real runs WITHOUT preheating,
-    // exposing the 1-5 s cold-miss outliers at non-repeating cells.
-    let mut suite = Suite::build(scale_from_args());
-    for (run_idx, slo) in [33.3, 50.0].into_iter().enumerate() {
-        let mut cfg = AdaptiveProtocol::LiteReconfig.run_config(
-            DeviceKind::JetsonTx2,
-            0.0,
-            slo,
-            90 + run_idx as u64,
-        );
-        cfg.preheat = false;
-        let r = run_adaptive(
-            &suite.val_videos,
-            suite.frcnn.clone(),
-            litereconfig::Policy::CostBenefit,
-            &cfg,
-            &mut suite.svc,
-        );
-        let costs: Vec<f64> = r.switches.iter().map(|s| s.cost_ms).collect();
+    // exposing the 1-5 s cold-miss outliers at non-repeating cells. The
+    // two SLO runs are independent, so they fan out over the pool.
+    let suite = Suite::build(scale_from_args());
+    let slos = [33.3f64, 50.0];
+    let raster_size = suite.svc.raster_size();
+    let pool = lr_pool::Pool::from_env();
+    let all_costs: Vec<Vec<f64>> = pool.par_map_init(
+        &slos,
+        || litereconfig::FeatureService::with_raster_size(raster_size),
+        |svc, run_idx, &slo| {
+            let mut cfg = AdaptiveProtocol::LiteReconfig.run_config(
+                DeviceKind::JetsonTx2,
+                0.0,
+                slo,
+                90 + run_idx as u64,
+            );
+            cfg.preheat = false;
+            let r = run_adaptive(
+                &suite.val_videos,
+                suite.frcnn.clone(),
+                litereconfig::Policy::CostBenefit,
+                &cfg,
+                svc,
+            );
+            r.switches.iter().map(|s| s.cost_ms).collect()
+        },
+    );
+    for (slo, costs) in slos.into_iter().zip(all_costs) {
         let outliers = costs.iter().filter(|&&c| c > 500.0).count();
         let typical: Vec<f64> = costs.iter().copied().filter(|&c| c <= 500.0).collect();
         let mean_typical = typical.iter().sum::<f64>() / typical.len().max(1) as f64;

@@ -12,8 +12,11 @@ fn main() {
     let suite = Suite::build(scale_from_args());
     let ds = &suite.frcnn_dataset;
 
-    let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    for (i, b) in ds.catalog.iter().enumerate() {
+    // Per-branch means are independent column reductions over the
+    // offline records; fan them out across the pool.
+    let pool = lr_pool::Pool::from_env();
+    let branches: Vec<usize> = (0..ds.catalog.len()).collect();
+    let mut rows: Vec<(String, f64, f64)> = pool.par_map(&branches, |&i| {
         let mean_map: f64 = ds
             .records
             .iter()
@@ -26,8 +29,8 @@ fn main() {
             .map(|r| r.branch_det_ms[i] + r.branch_trk_ms[i])
             .sum::<f64>()
             / ds.len() as f64;
-        rows.push((b.name(), mean_ms, mean_map));
-    }
+        (ds.catalog[i].name(), mean_ms, mean_map)
+    });
     rows.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     // Pareto frontier: strictly increasing accuracy with latency.

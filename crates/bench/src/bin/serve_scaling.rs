@@ -72,36 +72,47 @@ fn run_point(
 ) -> Point {
     const SEEDS: [u64; 3] = [42, 43, 44];
     let specs = mixed_specs(n, frames);
-    let mut reports: Vec<ServeReport> = Vec::new();
-    for seed in SEEDS {
-        let mut cfg = ServeConfig::new(device);
-        cfg.admission_enabled = admission;
-        cfg.seed = seed;
-        reports.push(serve(
-            &specs,
-            trained.clone(),
-            Policy::CostBenefit,
-            &cfg,
-            &mut suite.svc,
-        ));
-    }
+
+    // The seed replicas (and the adaptation-frozen probe replicas) are
+    // independent serve() runs, so fan them out. Each worker keeps its
+    // own FeatureService: rasters and features are pure functions of
+    // (video, frame), so cache placement changes recompute counts but
+    // never values, and `par_map_init` returns reports in cell order —
+    // the merged stats below are byte-identical for any worker count.
+    let cells: Vec<(u64, bool)> = SEEDS
+        .iter()
+        .map(|&s| (s, false))
+        .chain(
+            (!admission)
+                .then_some(SEEDS)
+                .into_iter()
+                .flatten()
+                .map(|s| (s, true)),
+        )
+        .collect();
+    let raster_size = suite.svc.raster_size();
+    let pool = lr_pool::Pool::from_env();
+    let mut runs = pool.par_map_init(
+        &cells,
+        || litereconfig::FeatureService::with_raster_size(raster_size),
+        |svc, _, &(seed, frozen)| {
+            let mut cfg = ServeConfig::new(device);
+            cfg.admission_enabled = admission;
+            cfg.contention_adaptive = !frozen;
+            cfg.seed = seed;
+            serve(&specs, trained.clone(), Policy::CostBenefit, &cfg, svc)
+        },
+    );
+    let frozen_runs: Vec<ServeReport> = runs.split_off(SEEDS.len());
+    let reports = runs;
+
     let mut latency = lr_eval::LatencyStats::new();
     for r in &reports {
         latency.merge(&r.admitted_latency());
     }
     let cam00_frozen = (!admission).then(|| {
         let mut stats = lr_eval::LatencyStats::new();
-        for seed in SEEDS {
-            let mut cfg = ServeConfig::new(device).without_admission();
-            cfg.contention_adaptive = false;
-            cfg.seed = seed;
-            let r = serve(
-                &specs,
-                trained.clone(),
-                Policy::CostBenefit,
-                &cfg,
-                &mut suite.svc,
-            );
+        for r in &frozen_runs {
             stats.merge(&r.streams[0].latency);
         }
         stats

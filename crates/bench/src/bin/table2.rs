@@ -2,12 +2,17 @@
 //! seven adaptive protocols, on TX2 and AGX Xavier, at 0% and 50% GPU
 //! contention, across three latency SLOs per device.
 //!
+//! Every (scenario, protocol, SLO) cell is an independent seeded run, so
+//! the sweep fans out over an `lr-pool` worker pool; results come back in
+//! cell order and each worker keeps its own feature cache, which makes
+//! the table byte-identical for any `LR_POOL_THREADS`.
+//!
 //! Usage: `cargo run --release -p lr-bench --bin table2 [small|paper]`
 
 use std::sync::Arc;
 
 use litereconfig::protocols::AdaptiveProtocol;
-use litereconfig::TrainedScheduler;
+use litereconfig::{FeatureService, TrainedScheduler};
 use lr_bench::{map_cell, scale_from_args, Suite};
 use lr_device::DeviceKind;
 use lr_eval::TextTable;
@@ -33,40 +38,83 @@ fn main() {
         (DeviceKind::AgxXavier, 0.0),
         (DeviceKind::AgxXavier, 50.0),
     ];
+    let protocols = AdaptiveProtocol::all();
 
+    // One cell per (scenario, protocol, SLO); the seed depends only on
+    // the cell's coordinates, exactly as the sequential sweep computed it.
+    struct Cell {
+        scenario_idx: usize,
+        device: DeviceKind,
+        contention: f64,
+        protocol: AdaptiveProtocol,
+        trained: Arc<TrainedScheduler>,
+        slo_idx: usize,
+        slo: f64,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
     for (scenario_idx, &(device, contention)) in scenarios.iter().enumerate() {
-        let slos = device.paper_slos_ms();
-        for protocol in AdaptiveProtocol::all() {
+        for &protocol in &protocols {
             let trained: Arc<TrainedScheduler> = match protocol.family() {
                 DetectorFamily::Ssd => ssd.clone(),
                 DetectorFamily::Yolo => yolo.clone(),
                 _ => suite.frcnn.clone(),
             };
-            let mut maps = Vec::new();
-            let mut p95s = Vec::new();
-            for (slo_idx, &slo) in slos.iter().enumerate() {
-                let seed = 1000 + scenario_idx as u64 * 100 + slo_idx as u64;
-                let r = protocol.run(
-                    &suite.val_videos,
-                    trained.clone(),
+            for (slo_idx, &slo) in device.paper_slos_ms().iter().enumerate() {
+                cells.push(Cell {
+                    scenario_idx,
                     device,
                     contention,
+                    protocol,
+                    trained: trained.clone(),
+                    slo_idx,
                     slo,
-                    seed,
-                    &mut suite.svc,
-                );
-                maps.push(map_cell(r.map_pct(), r.latency.p95(), slo));
-                p95s.push(format!("{:.1}", r.latency.p95()));
-                eprintln!(
-                    "[table2] {} {} {:.0}% @{}ms -> mAP {:.1} P95 {:.1} ({:.0}s elapsed)",
-                    device.name(),
-                    protocol.name(),
-                    contention,
-                    slo,
-                    r.map_pct(),
-                    r.latency.p95(),
-                    t0.elapsed().as_secs_f64()
-                );
+                });
+            }
+        }
+    }
+
+    let raster_size = suite.svc.raster_size();
+    let pool = lr_pool::Pool::from_env();
+    let measured: Vec<(f64, f64)> = pool.par_map_init(
+        &cells,
+        || FeatureService::with_raster_size(raster_size),
+        |svc, _, c| {
+            let seed = 1000 + c.scenario_idx as u64 * 100 + c.slo_idx as u64;
+            let r = c.protocol.run(
+                &suite.val_videos,
+                c.trained.clone(),
+                c.device,
+                c.contention,
+                c.slo,
+                seed,
+                svc,
+            );
+            eprintln!(
+                "[table2] {} {} {:.0}% @{}ms -> mAP {:.1} P95 {:.1} ({:.0}s elapsed)",
+                c.device.name(),
+                c.protocol.name(),
+                c.contention,
+                c.slo,
+                r.map_pct(),
+                r.latency.p95(),
+                t0.elapsed().as_secs_f64()
+            );
+            (r.map_pct(), r.latency.p95())
+        },
+    );
+
+    // Reassemble rows in the original sweep order: cells (and therefore
+    // `measured`) are grouped by scenario, then protocol, then SLO.
+    let mut next = measured.iter().zip(&cells);
+    for &(device, contention) in &scenarios {
+        let slos = device.paper_slos_ms();
+        for &protocol in &protocols {
+            let mut maps = Vec::new();
+            let mut p95s = Vec::new();
+            for &slo in &slos {
+                let (&(map_pct, p95), _) = next.next().expect("one result per cell");
+                maps.push(map_cell(map_pct, p95, slo));
+                p95s.push(format!("{p95:.1}"));
             }
             let slo_label = format!(
                 "{}, {}",

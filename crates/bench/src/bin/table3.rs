@@ -1,6 +1,10 @@
 //! Table 3: LiteReconfig vs accuracy-optimized video object detectors
 //! (SELSA, MEGA, REPP, EfficientDet, AdaScale) on the TX2.
 //!
+//! Every row is an independent seeded run, so the baseline rows fan out
+//! over an `lr-pool` worker pool (results return in row order) and the
+//! three LiteReconfig rows fan out with per-worker feature caches.
+//!
 //! Usage: `cargo run --release -p lr-bench --bin table3 [small|paper]`
 
 use litereconfig::pipeline::run_adaptive;
@@ -11,8 +15,22 @@ use lr_eval::TextTable;
 use lr_kernels::heavy::HeavyModel;
 use lr_kernels::{DetectorConfig, DetectorFamily};
 
+/// One baseline row of the table; all variants run on the heavy-model
+/// video subset with the seed the sequential sweep used.
+enum Baseline {
+    Heavy(HeavyModel),
+    Static {
+        family: DetectorFamily,
+        cfg: DetectorConfig,
+        name: &'static str,
+        mem: &'static str,
+        seed: u64,
+    },
+    AdaScaleMs,
+}
+
 fn main() {
-    let mut suite = Suite::build(scale_from_args());
+    let suite = Suite::build(scale_from_args());
     // The heavy models are painfully slow even virtually; a subset of the
     // validation videos gives stable mAP at a fraction of the cost.
     let heavy_videos = &suite.val_videos[..suite.val_videos.len().min(4)];
@@ -24,94 +42,120 @@ fn main() {
         "Memory (GB)",
     ]);
 
-    for model in HeavyModel::all() {
-        match run_heavy_model(model, heavy_videos, DeviceKind::JetsonTx2, 1) {
-            Ok(r) => table.add_row_owned(vec![
-                format!("{}, no SLO", model.name()),
-                format!("{:.1}", r.map_pct()),
-                format!("{:.0}", r.latency.mean()),
-                format!("{:.2}", model.reported_memory_gb()),
-            ]),
-            Err(_) => table.add_row_owned(vec![
-                format!("{}, no SLO", model.name()),
-                "OOM".into(),
-                "OOM".into(),
-                format!("{:.2}", model.reported_memory_gb()),
-            ]),
-        }
-    }
-
-    // EfficientDet D3 / D0.
+    let mut baselines: Vec<Baseline> = HeavyModel::all().into_iter().map(Baseline::Heavy).collect();
     for (family, name, mem) in [
-        (DetectorFamily::EfficientDetD3, "EfficientDet D3", 5.68),
-        (DetectorFamily::EfficientDetD0, "EfficientDet D0", 2.22),
+        (DetectorFamily::EfficientDetD3, "EfficientDet D3", "5.68"),
+        (DetectorFamily::EfficientDetD0, "EfficientDet D0", "2.22"),
     ] {
-        let r = run_static_detector(
+        baselines.push(Baseline::Static {
             family,
-            DetectorConfig::new(512, 100),
-            heavy_videos,
-            DeviceKind::JetsonTx2,
-            0.0,
-            2,
-        );
-        table.add_row_owned(vec![
-            name.to_string(),
-            format!("{:.1}", r.map_pct()),
-            format!("{:.0}", r.latency.mean()),
-            format!("{mem:.2}"),
-        ]);
+            cfg: DetectorConfig::new(512, 100),
+            name,
+            mem,
+            seed: 2,
+        });
     }
-
-    // AdaScale multi-scale: the real adaptive controller.
-    {
-        let r = litereconfig::protocols::run_adascale_ms(heavy_videos, DeviceKind::JetsonTx2, 5);
-        table.add_row_owned(vec![
-            "AdaScale-MS, no SLO".to_string(),
-            format!("{:.1}", r.map_pct()),
-            format!("{:.1}", r.latency.mean()),
-            "3.26".into(),
-        ]);
-    }
-    // AdaScale single-scale variants.
+    baselines.push(Baseline::AdaScaleMs);
     for (name, shape) in [
         ("AdaScale-SS-600, no SLO", 600),
         ("AdaScale-SS-480, no SLO", 480),
         ("AdaScale-SS-360, no SLO", 360),
         ("AdaScale-SS-240, no SLO", 240),
     ] {
-        let r = run_static_detector(
-            DetectorFamily::AdaScale,
-            DetectorConfig::new(shape, 100),
-            heavy_videos,
-            DeviceKind::JetsonTx2,
-            0.0,
-            3,
-        );
-        table.add_row_owned(vec![
-            name.to_string(),
-            format!("{:.1}", r.map_pct()),
-            format!("{:.1}", r.latency.mean()),
-            "3.2".into(),
-        ]);
+        baselines.push(Baseline::Static {
+            family: DetectorFamily::AdaScale,
+            cfg: DetectorConfig::new(shape, 100),
+            name,
+            mem: "3.2",
+            seed: 3,
+        });
+    }
+
+    let pool = lr_pool::Pool::from_env();
+    let baseline_rows = pool.par_map(&baselines, |b| match b {
+        Baseline::Heavy(model) => {
+            match run_heavy_model(*model, heavy_videos, DeviceKind::JetsonTx2, 1) {
+                Ok(r) => vec![
+                    format!("{}, no SLO", model.name()),
+                    format!("{:.1}", r.map_pct()),
+                    format!("{:.0}", r.latency.mean()),
+                    format!("{:.2}", model.reported_memory_gb()),
+                ],
+                Err(_) => vec![
+                    format!("{}, no SLO", model.name()),
+                    "OOM".into(),
+                    "OOM".into(),
+                    format!("{:.2}", model.reported_memory_gb()),
+                ],
+            }
+        }
+        Baseline::Static {
+            family,
+            cfg,
+            name,
+            mem,
+            seed,
+        } => {
+            let r = run_static_detector(
+                *family,
+                *cfg,
+                heavy_videos,
+                DeviceKind::JetsonTx2,
+                0.0,
+                *seed,
+            );
+            vec![
+                name.to_string(),
+                format!("{:.1}", r.map_pct()),
+                if *family == DetectorFamily::AdaScale {
+                    format!("{:.1}", r.latency.mean())
+                } else {
+                    format!("{:.0}", r.latency.mean())
+                },
+                mem.to_string(),
+            ]
+        }
+        Baseline::AdaScaleMs => {
+            let r =
+                litereconfig::protocols::run_adascale_ms(heavy_videos, DeviceKind::JetsonTx2, 5);
+            vec![
+                "AdaScale-MS, no SLO".to_string(),
+                format!("{:.1}", r.map_pct()),
+                format!("{:.1}", r.latency.mean()),
+                "3.26".into(),
+            ]
+        }
+    });
+    for row in baseline_rows {
+        table.add_row_owned(row);
     }
 
     // LiteReconfig at the three TX2 SLOs (full validation set).
+    let slos = [100.0f64, 50.0, 33.3];
+    let raster_size = suite.svc.raster_size();
+    let lr_results = pool.par_map_init(
+        &slos,
+        || litereconfig::FeatureService::with_raster_size(raster_size),
+        |svc, _, &slo| {
+            let r = run_adaptive(
+                &suite.val_videos,
+                suite.frcnn.clone(),
+                litereconfig::Policy::CostBenefit,
+                &AdaptiveProtocol::LiteReconfig.run_config(DeviceKind::JetsonTx2, 0.0, slo, 4),
+                svc,
+            );
+            (r.map_pct(), r.latency.mean())
+        },
+    );
     let mut lr_mean_33 = None;
-    for slo in [100.0, 50.0, 33.3] {
-        let r = run_adaptive(
-            &suite.val_videos,
-            suite.frcnn.clone(),
-            litereconfig::Policy::CostBenefit,
-            &AdaptiveProtocol::LiteReconfig.run_config(DeviceKind::JetsonTx2, 0.0, slo, 4),
-            &mut suite.svc,
-        );
+    for (&slo, &(map_pct, mean)) in slos.iter().zip(&lr_results) {
         if slo == 33.3 {
-            lr_mean_33 = Some(r.latency.mean());
+            lr_mean_33 = Some(mean);
         }
         table.add_row_owned(vec![
             format!("LiteReconfig, {slo} ms"),
-            format!("{:.1}", r.map_pct()),
-            format!("{:.1}", r.latency.mean()),
+            format!("{map_pct:.1}"),
+            format!("{mean:.1}"),
             "4.1".into(),
         ]);
     }

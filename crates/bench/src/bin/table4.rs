@@ -5,18 +5,17 @@
 //! Usage: `cargo run --release -p lr-bench --bin table4 [small|paper]`
 
 use litereconfig::pipeline::{run_adaptive, RunConfig};
-use litereconfig::Policy;
+use litereconfig::{FeatureService, Policy};
 use lr_bench::{scale_from_args, Suite};
 use lr_device::DeviceKind;
 use lr_eval::TextTable;
 use lr_features::{FeatureKind, HEAVY_FEATURE_KINDS};
 
 fn main() {
-    let mut suite = Suite::build(scale_from_args());
+    let suite = Suite::build(scale_from_args());
     let slos = [33.3, 50.0, 100.0];
     let mut table = TextTable::new(&["Feature", "33.3 ms", "50.0 ms", "100.0 ms"]);
 
-    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     // "None" row: the content-agnostic model under the same
     // kernel-only-budget protocol.
     let mut configs: Vec<(String, Policy)> = vec![(
@@ -27,31 +26,42 @@ fn main() {
         configs.push((kind.name().to_string(), Policy::ForcedFeatureFree(kind)));
     }
 
-    for (row_idx, (name, policy)) in configs.iter().enumerate() {
-        let mut maps = Vec::new();
-        for (slo_idx, &slo) in slos.iter().enumerate() {
+    // Every (feature, SLO) cell is an independent seeded run; fan them
+    // out and reassemble the rows from the order-preserved results.
+    let cells: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|row_idx| (0..slos.len()).map(move |slo_idx| (row_idx, slo_idx)))
+        .collect();
+    let raster_size = suite.svc.raster_size();
+    let pool = lr_pool::Pool::from_env();
+    let maps = pool.par_map_init(
+        &cells,
+        || FeatureService::with_raster_size(raster_size),
+        |svc, _, &(row_idx, slo_idx)| {
+            let (name, policy) = &configs[row_idx];
+            let slo = slos[slo_idx];
             let cfg = RunConfig::clean(
                 DeviceKind::JetsonTx2,
                 0.0,
                 slo,
                 2000 + row_idx as u64 * 10 + slo_idx as u64,
             );
-            let r = run_adaptive(
-                &suite.val_videos,
-                suite.frcnn.clone(),
-                *policy,
-                &cfg,
-                &mut suite.svc,
-            );
+            let r = run_adaptive(&suite.val_videos, suite.frcnn.clone(), *policy, &cfg, svc);
             eprintln!(
                 "[table4] {name} @{slo}ms -> mAP {:.1} (features {:?})",
                 r.map_pct(),
                 r.decisions
             );
-            maps.push(r.map_pct());
-        }
-        rows.push((name.clone(), maps));
-    }
+            r.map_pct()
+        },
+    );
+    let rows: Vec<(String, Vec<f64>)> = configs
+        .iter()
+        .enumerate()
+        .map(|(row_idx, (name, _))| {
+            let start = row_idx * slos.len();
+            (name.clone(), maps[start..start + slos.len()].to_vec())
+        })
+        .collect();
 
     for (name, maps) in &rows {
         table.add_row_owned(

@@ -6,12 +6,30 @@ use lr_features::{cpop, hoc, hog, DeepExtractors, FeatureKind, LightFeatures};
 use lr_video::raster::{rasterize, DEFAULT_RASTER_SIZE};
 use lr_video::{BBox, RgbFrame, Video};
 
+/// What a cache entry holds for a `(video, frame, kind)` key.
+///
+/// Rasters and heavy feature vectors are pure functions of the video and
+/// frame (CPoP is not — it depends on caller-supplied proposal logits —
+/// so it is never cached), which means cache hits and misses can change
+/// only how much work is done, never a value.
+#[derive(Debug, Clone)]
+enum Cached {
+    Raster(RgbFrame),
+    Feature(Vec<f32>),
+}
+
+/// Cache key: `(video seed, frame index, kind)`, where `kind` is `None`
+/// for the raster itself and `Some(feature)` for an extracted vector.
+type CacheKey = (u64, u32, Option<FeatureKind>);
+
 /// Extracts content features from video frames.
 ///
-/// Rasterization (the most expensive real computation) is cached per
-/// `(video seed, frame index)`; the cache is bounded and cleared wholesale
-/// when full — experiments stream videos in order, so eviction hygiene is
-/// not worth the complexity.
+/// Rasterization (the most expensive real computation) and the pure
+/// heavy feature vectors derived from it are cached per
+/// `(video seed, frame index, kind)` with bounded LRU eviction: when the
+/// cache is full, the single least-recently-used entry is evicted, so a
+/// working set that fits the bound stays warm even as other streams
+/// churn through frames.
 ///
 /// Note that *virtual* extraction latencies are charged by the scheduler
 /// from the Table 1 cost table, not here; this service only computes the
@@ -20,8 +38,10 @@ use lr_video::{BBox, RgbFrame, Video};
 pub struct FeatureService {
     deep: DeepExtractors,
     raster_size: usize,
-    cache: HashMap<(u64, u32), RgbFrame>,
+    cache: HashMap<CacheKey, (Cached, u64)>,
     max_cache: usize,
+    /// Monotonic access counter stamping cache entries for LRU eviction.
+    tick: u64,
 }
 
 impl Default for FeatureService {
@@ -48,12 +68,44 @@ impl FeatureService {
             raster_size,
             cache: HashMap::new(),
             max_cache: 2048,
+            tick: 0,
         }
     }
 
     /// The configured raster edge length.
     pub fn raster_size(&self) -> usize {
         self.raster_size
+    }
+
+    /// Evicts least-recently-used entries until an insert fits the bound.
+    fn evict_to_cap(&mut self) {
+        while self.cache.len() >= self.max_cache {
+            let oldest = self
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+                .expect("non-empty cache at cap");
+            self.cache.remove(&oldest);
+        }
+    }
+
+    /// Marks a key as just-used and returns its cached value, if any.
+    fn cache_touch(&mut self, key: &CacheKey) -> Option<&Cached> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.cache.get_mut(key).map(|entry| {
+            entry.1 = tick;
+            &entry.0
+        })
+    }
+
+    /// Inserts a freshly computed value (evicting LRU entries if full)
+    /// and stamps it as just-used.
+    fn cache_insert(&mut self, key: CacheKey, value: Cached) {
+        self.evict_to_cap();
+        self.tick += 1;
+        self.cache.insert(key, (value, self.tick));
     }
 
     /// Rasterizes (or fetches from cache) a frame of a video.
@@ -63,14 +115,15 @@ impl FeatureService {
     /// Panics if `frame_idx` is out of range.
     pub fn raster(&mut self, video: &Video, frame_idx: usize) -> &RgbFrame {
         assert!(frame_idx < video.len(), "frame {frame_idx} out of range");
-        let key = (video.spec.seed, frame_idx as u32);
-        if self.cache.len() >= self.max_cache && !self.cache.contains_key(&key) {
-            self.cache.clear();
+        let key = (video.spec.seed, frame_idx as u32, None);
+        if self.cache_touch(&key).is_none() {
+            let raster = rasterize(&video.frames[frame_idx], &video.style, self.raster_size);
+            self.cache_insert(key, Cached::Raster(raster));
         }
-        let size = self.raster_size;
-        self.cache
-            .entry(key)
-            .or_insert_with(|| rasterize(&video.frames[frame_idx], &video.style, size))
+        match &self.cache[&key].0 {
+            Cached::Raster(r) => r,
+            Cached::Feature(_) => unreachable!("raster key holds a raster"),
+        }
     }
 
     /// The light feature vector for a frame, given the boxes the kernel
@@ -86,6 +139,10 @@ impl FeatureService {
     /// must supply (`proposal_logits`); other features come from the
     /// raster. Returns `None` for [`FeatureKind::CPoP`] without logits and
     /// for [`FeatureKind::Light`] (use [`Self::light`]).
+    ///
+    /// Raster-derived features are served from the LRU cache when warm;
+    /// CPoP is never cached because its value depends on the supplied
+    /// logits, not only on `(video, frame)`.
     pub fn extract_heavy(
         &mut self,
         kind: FeatureKind,
@@ -94,19 +151,29 @@ impl FeatureService {
         proposal_logits: Option<&[Vec<f32>]>,
     ) -> Option<Vec<f32>> {
         match kind {
-            FeatureKind::Light => None,
-            FeatureKind::HoC => Some(hoc::extract(self.raster(video, frame_idx))),
-            FeatureKind::Hog => Some(hog::extract(self.raster(video, frame_idx))),
+            FeatureKind::Light => return None,
+            FeatureKind::CPoP => return proposal_logits.map(cpop::cpop_vector),
+            _ => {}
+        }
+        let key = (video.spec.seed, frame_idx as u32, Some(kind));
+        if let Some(Cached::Feature(v)) = self.cache_touch(&key) {
+            return Some(v.clone());
+        }
+        let value = match kind {
+            FeatureKind::HoC => hoc::extract(self.raster(video, frame_idx)),
+            FeatureKind::Hog => hog::extract(self.raster(video, frame_idx)),
             FeatureKind::ResNet50 => {
                 let raster = self.raster(video, frame_idx).clone();
-                Some(self.deep.resnet50(&raster))
+                self.deep.resnet50(&raster)
             }
             FeatureKind::MobileNetV2 => {
                 let raster = self.raster(video, frame_idx).clone();
-                Some(self.deep.mobilenetv2(&raster))
+                self.deep.mobilenetv2(&raster)
             }
-            FeatureKind::CPoP => proposal_logits.map(cpop::cpop_vector),
-        }
+            FeatureKind::Light | FeatureKind::CPoP => unreachable!("handled above"),
+        };
+        self.cache_insert(key, Cached::Feature(value.clone()));
+        Some(value)
     }
 
     /// The dimensionality a heavy feature has under this service's raster
@@ -176,13 +243,55 @@ mod tests {
     }
 
     #[test]
-    fn cache_clears_when_full_instead_of_growing() {
+    fn cache_evicts_lru_when_full_instead_of_growing() {
         let v = video();
         let mut svc = FeatureService::new();
         svc.max_cache = 4;
         for i in 0..12 {
             let _ = svc.raster(&v, i);
         }
-        assert!(svc.cache.len() <= 4 + 1);
+        // Bounded: never exceeds the cap, and only the oldest entries
+        // were evicted — the most recent 4 frames are still warm.
+        assert_eq!(svc.cache.len(), 4);
+        for i in 8..12 {
+            assert!(
+                svc.cache.contains_key(&(v.spec.seed, i as u32, None)),
+                "frame {i} should still be cached"
+            );
+        }
+    }
+
+    #[test]
+    fn lru_keeps_reused_entries_warm() {
+        let v = video();
+        let mut svc = FeatureService::new();
+        svc.max_cache = 3;
+        let _ = svc.raster(&v, 0);
+        let _ = svc.raster(&v, 1);
+        let _ = svc.raster(&v, 2);
+        // Re-touch frame 0 so frame 1 becomes the LRU entry.
+        let _ = svc.raster(&v, 0);
+        let _ = svc.raster(&v, 3);
+        assert!(svc.cache.contains_key(&(v.spec.seed, 0, None)));
+        assert!(!svc.cache.contains_key(&(v.spec.seed, 1, None)));
+        assert!(svc.cache.contains_key(&(v.spec.seed, 3, None)));
+    }
+
+    #[test]
+    fn heavy_features_are_cached_per_kind() {
+        let v = video();
+        let mut svc = FeatureService::new();
+        let a = svc.extract_heavy(FeatureKind::HoC, &v, 0, None).unwrap();
+        assert!(svc
+            .cache
+            .contains_key(&(v.spec.seed, 0, Some(FeatureKind::HoC))));
+        let b = svc.extract_heavy(FeatureKind::HoC, &v, 0, None).unwrap();
+        assert_eq!(a, b, "cache hit must return the identical vector");
+        // CPoP depends on caller-supplied logits and must never be cached.
+        let logits = vec![vec![0.0f32; 31]; 3];
+        let _ = svc.extract_heavy(FeatureKind::CPoP, &v, 0, Some(&logits));
+        assert!(!svc
+            .cache
+            .contains_key(&(v.spec.seed, 0, Some(FeatureKind::CPoP))));
     }
 }

@@ -282,9 +282,11 @@ impl LatencyModel {
     pub fn train(dataset: &OfflineDataset) -> Self {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
         let xs: Vec<Vec<f32>> = dataset.records.iter().map(|r| r.light.clone()).collect();
-        let mut det = Vec::with_capacity(dataset.catalog.len());
-        let mut trk = Vec::with_capacity(dataset.catalog.len());
-        for b in 0..dataset.catalog.len() {
+        // Each branch's pair of ridge solves is independent of the
+        // others, so fan them out; results come back in branch order.
+        let branches: Vec<usize> = (0..dataset.catalog.len()).collect();
+        let pool = lr_pool::Pool::from_env();
+        let fits = pool.par_map(&branches, |&b| {
             let det_y: Vec<f32> = dataset
                 .records
                 .iter()
@@ -295,9 +297,12 @@ impl LatencyModel {
                 .iter()
                 .map(|r| r.branch_trk_ms[b] as f32)
                 .collect();
-            det.push(fit_ridge(&xs, &det_y, 1e-3).expect("ridge solve"));
-            trk.push(fit_ridge(&xs, &trk_y, 1e-3).expect("ridge solve"));
-        }
+            (
+                fit_ridge(&xs, &det_y, 1e-3).expect("ridge solve"),
+                fit_ridge(&xs, &trk_y, 1e-3).expect("ridge solve"),
+            )
+        });
+        let (det, trk) = fits.into_iter().unzip();
         Self { det, trk }
     }
 

@@ -74,17 +74,17 @@ pub fn train_scheduler(
 ) -> TrainedScheduler {
     assert!(!dataset.is_empty(), "cannot train on an empty dataset");
 
-    let mut accuracy = HashMap::new();
-    accuracy.insert(
-        FeatureKind::Light,
-        AccuracyModel::train(FeatureKind::Light, dataset, &cfg.model, cfg.seed),
-    );
-    for &kind in &cfg.heavy_kinds {
-        accuracy.insert(
-            kind,
-            AccuracyModel::train(kind, dataset, &cfg.model, cfg.seed),
-        );
-    }
+    // Per-feature models are seeded independently (`seed ^ kind`), so
+    // they can train concurrently with results identical to the
+    // sequential loop for any worker count.
+    let kinds: Vec<FeatureKind> = std::iter::once(FeatureKind::Light)
+        .chain(cfg.heavy_kinds.iter().copied())
+        .collect();
+    let pool = lr_pool::Pool::from_env();
+    let models = pool.par_map(&kinds, |&kind| {
+        AccuracyModel::train(kind, dataset, &cfg.model, cfg.seed)
+    });
+    let accuracy: HashMap<FeatureKind, AccuracyModel> = kinds.into_iter().zip(models).collect();
 
     let latency = LatencyModel::train(dataset);
     let ben = BenTable::compute(dataset, &accuracy, &cfg.slos_ms);

@@ -22,11 +22,33 @@ pub enum Activation {
 impl Activation {
     /// Applies the activation element-wise.
     pub fn forward(self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        self.apply_in_place(&mut out);
+        out
+    }
+
+    /// Applies the activation element-wise, in place. Bit-identical to
+    /// [`Activation::forward`] without the allocation.
+    pub fn apply_in_place(self, x: &mut Matrix) {
         match self {
-            Activation::Linear => x.clone(),
-            Activation::Relu => x.map(|v| v.max(0.0)),
-            Activation::LeakyRelu => x.map(|v| if v > 0.0 { v } else { 0.01 * v }),
-            Activation::Tanh => x.map(f32::tanh),
+            Activation::Linear => {}
+            Activation::Relu => {
+                for v in x.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+            }
+            Activation::LeakyRelu => {
+                for v in x.as_mut_slice() {
+                    if *v <= 0.0 {
+                        *v *= 0.01;
+                    }
+                }
+            }
+            Activation::Tanh => {
+                for v in x.as_mut_slice() {
+                    *v = v.tanh();
+                }
+            }
         }
     }
 
@@ -130,8 +152,19 @@ impl Dense {
 
     /// Forward pass without caching (inference only).
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        let pre = input.matmul(&self.weights).add_row_broadcast(&self.bias);
-        self.activation.forward(&pre)
+        let mut out = Matrix::zeros(input.rows(), self.out_dim());
+        self.infer_into(input, &mut out);
+        out
+    }
+
+    /// Forward pass writing into a caller-owned scratch matrix (resized
+    /// and fully overwritten). Bit-identical to [`Dense::infer`]; reusing
+    /// the scratch across calls removes the per-inference allocations on
+    /// the scheduler hot path.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weights, out);
+        out.add_row_broadcast_in_place(&self.bias);
+        self.activation.apply_in_place(out);
     }
 
     /// Backward pass. Takes `dL/dy` and returns `dL/dx`, storing parameter

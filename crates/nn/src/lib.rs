@@ -17,8 +17,11 @@
 //! - [`conv`]: forward-only 2-D convolution / pooling used by the feature
 //!   extractors.
 //!
-//! Everything is deterministic given a seed; there is no threading and no
-//! unsafe code.
+//! Everything is deterministic given a seed and contains no unsafe code.
+//! Host-side parallelism is opt-in via `lr-pool` (for example
+//! [`tensor::Matrix::matmul_with_pool`]) and is bit-identical to the
+//! serial path for any thread count: output rows are partitioned across
+//! workers and every element keeps the same f32 accumulation order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

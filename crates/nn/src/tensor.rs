@@ -142,33 +142,132 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Delegates to the blocked kernel ([`Matrix::matmul_into`]); the
+    /// result is bit-identical to the reference i-k-j loop because
+    /// blocking never reorders the per-element accumulation.
+    ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs` written into `out`, which is resized
+    /// to `self.rows x rhs.cols` and fully overwritten. Reusing one
+    /// scratch matrix across calls avoids a fresh allocation per product,
+    /// which matters on the scheduler's per-GoF inference hot path.
+    ///
+    /// The kernel is blocked over (row, inner-dim) tiles so the `rhs`
+    /// panel loaded for a tile is reused across a strip of output rows.
+    /// For every output element the inner dimension is still walked in
+    /// ascending order with the same zero-skip as the reference i-k-j
+    /// loop, so the f32 accumulation order — and therefore the result —
+    /// is bit-identical for any tile size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize(self.rows, rhs.cols);
+        self.matmul_rows_into(rhs, 0, self.rows, &mut out.data);
+    }
+
+    /// Reference (i, j, k) matmul kept for kernel cross-checking. Its
+    /// accumulation order differs from [`Matrix::matmul`], so outputs
+    /// agree only up to f32 rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // Loop order (i, k, j) keeps the inner loop contiguous in both the
-        // output row and the rhs row, which matters for the larger feature
-        // projections (5400 -> 256).
         for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+            for j in 0..rhs.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * rhs.data[k * rhs.cols + j];
                 }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+                out.data[i * rhs.cols + j] = acc;
             }
         }
         out
+    }
+
+    /// Matrix product `self * rhs` with output rows partitioned across a
+    /// worker pool. Each row's accumulation is independent and uses the
+    /// same kernel as [`Matrix::matmul`], so the result is bit-identical
+    /// to the serial product for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_with_pool(&self, rhs: &Matrix, pool: &lr_pool::Pool) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let chunks = pool.threads().min(self.rows).max(1);
+        let per = self.rows.div_ceil(chunks);
+        let ranges: Vec<(usize, usize)> = (0..chunks)
+            .map(|c| (c * per, ((c + 1) * per).min(self.rows)))
+            .filter(|&(lo, hi)| lo < hi)
+            .collect();
+        let parts = pool.par_map(&ranges, |&(lo, hi)| {
+            let mut buf = vec![0.0f32; (hi - lo) * rhs.cols];
+            self.matmul_rows_into(rhs, lo, hi, &mut buf);
+            buf
+        });
+        let mut data = Vec::with_capacity(self.rows * rhs.cols);
+        for part in parts {
+            data.extend_from_slice(&part);
+        }
+        Matrix::from_vec(self.rows, rhs.cols, data)
+    }
+
+    /// Blocked kernel for output rows `row_lo..row_hi`; `out` holds
+    /// exactly those rows and is fully overwritten. Row tiling reuses
+    /// each `rhs` panel across a strip of output rows; per element the
+    /// inner dimension stays ascending (bit-identical to i-k-j).
+    fn matmul_rows_into(&self, rhs: &Matrix, row_lo: usize, row_hi: usize, out: &mut [f32]) {
+        const BLOCK_I: usize = 16;
+        const BLOCK_K: usize = 64;
+        debug_assert_eq!(out.len(), (row_hi - row_lo) * rhs.cols);
+        out.fill(0.0);
+        let n = rhs.cols;
+        for ii in (row_lo..row_hi).step_by(BLOCK_I) {
+            let i_end = (ii + BLOCK_I).min(row_hi);
+            for kk in (0..self.cols).step_by(BLOCK_K) {
+                let k_end = (kk + BLOCK_K).min(self.cols);
+                for i in ii..i_end {
+                    let a_tile = &self.data[i * self.cols + kk..i * self.cols + k_end];
+                    let out_row = &mut out[(i - row_lo) * n..(i - row_lo + 1) * n];
+                    for (dk, &a) in a_tile.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let k = kk + dk;
+                        let b_row = &rhs.data[k * n..(k + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Matrix product with the transpose of `rhs`: `self * rhs^T`.
@@ -253,15 +352,43 @@ impl Matrix {
     ///
     /// Panics if `bias` is not `1 x self.cols()`.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_in_place(bias);
+        out
+    }
+
+    /// Adds a `1 x cols` row vector to every row, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols()`.
+    pub fn add_row_broadcast_in_place(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "bias width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(bias.data.iter()) {
+        for r in 0..self.rows {
+            let cols = self.cols;
+            for (o, &b) in self.data[r * cols..(r + 1) * cols]
+                .iter_mut()
+                .zip(bias.data.iter())
+            {
                 *o += b;
             }
         }
-        out
+    }
+
+    /// Reshapes in place to `rows x cols`, reusing the existing buffer.
+    /// Element values after a resize are unspecified (callers are
+    /// expected to overwrite them); this exists so scratch matrices can
+    /// be recycled across calls without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Sums each column into a `1 x cols` row vector.
@@ -427,5 +554,47 @@ mod tests {
         let a = Matrix::from_rows(&[&[3.0, 4.0]]);
         assert_eq!(a.mean(), 3.5);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_random_matrices() {
+        // Shapes straddle the 16/64 tile boundaries on purpose.
+        let mut rng = crate::init::seeded_rng(2024);
+        for &(m, k, n) in &[(1usize, 5usize, 3usize), (17, 65, 9), (33, 130, 20)] {
+            let a = crate::init::he_uniform(m, k, &mut rng);
+            let b = crate::init::he_uniform(k, n, &mut rng);
+            let blocked = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+                assert!(
+                    (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
+                    "blocked {x} vs naive {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_scratch_and_matches_matmul() {
+        let mut rng = crate::init::seeded_rng(7);
+        let mut scratch = Matrix::zeros(1, 1);
+        for &(m, k, n) in &[(3usize, 4usize, 5usize), (20, 70, 6), (5, 2, 9)] {
+            let a = crate::init::he_uniform(m, k, &mut rng);
+            let b = crate::init::he_uniform(k, n, &mut rng);
+            a.matmul_into(&b, &mut scratch);
+            assert_eq!(scratch, a.matmul(&b));
+        }
+    }
+
+    #[test]
+    fn pool_matmul_is_bit_identical_for_any_thread_count() {
+        let mut rng = crate::init::seeded_rng(55);
+        let a = crate::init::he_uniform(37, 90, &mut rng);
+        let b = crate::init::he_uniform(90, 23, &mut rng);
+        let serial = a.matmul(&b);
+        for threads in [1, 2, 4, 7] {
+            let pool = lr_pool::Pool::new(threads);
+            assert_eq!(a.matmul_with_pool(&b, &pool), serial);
+        }
     }
 }

@@ -55,6 +55,18 @@ pub struct ServeConfig {
     /// first video seed (position-independent, so a stream's private
     /// noise is identical whether it runs alone or co-scheduled).
     pub seed: u64,
+    /// Width of one dispatch round in aged virtual milliseconds: every
+    /// unfinished stream whose aged ready time is within this quantum of
+    /// the furthest-behind stream steps one GoF in the same round, all
+    /// against the same pre-round occupancy snapshot. Round membership
+    /// is computed serially, so the schedule — and every report — is
+    /// independent of how many pool workers execute the round.
+    pub round_quantum_ms: f64,
+    /// Worker threads for stepping a round's streams: `0` resolves from
+    /// the `LR_POOL_THREADS` environment variable (defaulting to the
+    /// host's available parallelism). Results are bit-identical for any
+    /// value.
+    pub pool_threads: usize,
 }
 
 impl ServeConfig {
@@ -71,6 +83,8 @@ impl ServeConfig {
             max_occupancy: 0.98,
             contention_adaptive: true,
             seed: 0,
+            round_quantum_ms: 50.0,
+            pool_threads: 0,
         }
     }
 
@@ -87,6 +101,11 @@ struct ActiveStream {
     spec_idx: usize,
     slot: usize,
     device: DeviceSim,
+    /// Stream-private feature service so a round's streams can step
+    /// concurrently. Rasterization is a pure function of `(video,
+    /// frame)`, so private caches change only recompute counts, never
+    /// values.
+    svc: FeatureService,
     pipeline: StreamPipeline,
     priority: u8,
     /// Frame-arrival period: frame `t` exists only from `t · period`.
@@ -97,6 +116,10 @@ struct ActiveStream {
     slowdown_sum: f64,
     gofs: usize,
     consecutive_violations: usize,
+    /// `(wall_span_ms, gpu_demand_ms)` of the last completed GoF; used
+    /// to reserve the stream's expected demand on the shared device
+    /// before the next round it joins, so co-members see it.
+    last_gof: Option<(f64, f64)>,
 }
 
 impl ActiveStream {
@@ -105,6 +128,12 @@ impl ActiveStream {
     fn ready_ms(&self) -> f64 {
         let arrival = self.pipeline.frames_done() as f64 * self.period_ms;
         arrival.max(self.device.now_ms())
+    }
+
+    /// Dispatch key: ready time aged by priority, so higher classes
+    /// sort ahead at similar readiness.
+    fn aged_key(&self, aging_boost_ms: f64) -> f64 {
+        self.ready_ms() - self.priority as f64 * aging_boost_ms
     }
 }
 
@@ -119,12 +148,23 @@ fn stream_seed(base: u64, salt: u64) -> u64 {
 /// Serves the offered streams to completion and reports the outcome.
 ///
 /// Streams are offered to the admission controller in order (when
-/// enabled); admitted ones are stepped GoF-by-GoF, always picking the
-/// stream whose aged virtual clock (`local_time − priority·boost`) is
-/// furthest behind, so local clocks stay nearly synchronized and
-/// higher classes run first at ties. Before each GoF the stream's
-/// device and scheduler receive the slowdown measured from the other
-/// streams' occupancy; after it, the GoF's GPU demand is recorded back.
+/// enabled); admitted ones are stepped GoF-by-GoF in *rounds*: every
+/// unfinished stream whose aged virtual clock (`local_time −
+/// priority·boost`) is within [`ServeConfig::round_quantum_ms`] of the
+/// furthest-behind stream steps one GoF, so local clocks stay nearly
+/// synchronized and higher classes run first at ties. All of a round's
+/// members observe the slowdown measured from the *pre-round* occupancy
+/// snapshot — recorded history plus every member's reserved expected
+/// demand (its previous GoF's footprint), so co-members of the same
+/// round are not mutually invisible — and step concurrently on the
+/// worker pool (each stream owns its device, scheduler RNG, and feature
+/// cache); their GPU demand is then recorded back and backpressure
+/// applied serially in stream order. Round membership, the snapshot,
+/// and the post-pass are all computed serially, so reports are
+/// bit-identical for any [`ServeConfig::pool_threads`] value.
+///
+/// `svc` is used as a template (raster size) for the per-stream feature
+/// services; its cache is neither read nor written here.
 pub fn serve(
     specs: &[StreamSpec],
     trained: Arc<TrainedScheduler>,
@@ -165,6 +205,7 @@ pub fn serve(
             spec_idx: i,
             slot: shared.register(),
             device: DeviceSim::new(cfg.device, 0.0, seed),
+            svc: FeatureService::with_raster_size(svc.raster_size()),
             pipeline,
             priority: spec.class.priority(),
             period_ms: spec.class.frame_period_ms(),
@@ -174,51 +215,87 @@ pub fn serve(
             slowdown_sum: 0.0,
             gofs: 0,
             consecutive_violations: 0,
+            last_gof: None,
         });
     }
 
-    // Round-based dispatch with priority aging.
-    while let Some(pick) = active
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| !s.pipeline.finished())
-        .min_by(|(_, a), (_, b)| {
-            let ka = a.ready_ms() - a.priority as f64 * cfg.aging_boost_ms;
-            let kb = b.ready_ms() - b.priority as f64 * cfg.aging_boost_ms;
-            ka.total_cmp(&kb)
-        })
-        .map(|(i, _)| i)
-    {
-        let s = &mut active[pick];
+    // Round-based dispatch with priority aging: each iteration gathers
+    // the cohort of streams whose aged clocks are within one quantum of
+    // the furthest-behind stream and steps them all, in parallel,
+    // against the same pre-round occupancy snapshot.
+    let pool = lr_pool::Pool::resolve(cfg.pool_threads);
+    loop {
+        let min_key = active
+            .iter()
+            .filter(|s| !s.pipeline.finished())
+            .map(|s| s.aged_key(cfg.aging_boost_ms))
+            .fold(f64::INFINITY, f64::min);
+        if !min_key.is_finite() {
+            break;
+        }
+        let threshold = min_key + cfg.round_quantum_ms;
+        let mut round: Vec<&mut ActiveStream> = active
+            .iter_mut()
+            .filter(|s| !s.pipeline.finished() && s.aged_key(cfg.aging_boost_ms) <= threshold)
+            .collect();
 
-        // Pacing: wait for the GoF's head frame to arrive. A stream can
-        // never run ahead of its camera, so its steady-state GPU demand
-        // fraction is bounded by gpu_ms_per_frame / period.
-        s.device.idle_until(s.ready_ms());
-        let start = s.device.now_ms();
-        let slowdown = shared.slowdown_for(s.slot, start);
-        s.device.set_external_gpu_slowdown(slowdown);
-        s.pipeline.observe_contention(slowdown);
-        let step = s
-            .pipeline
-            .step_gof(svc, &mut s.device)
-            .expect("unfinished stream must step");
-        shared.record(s.slot, start, s.device.now_ms(), step.gpu_demand_ms);
-        s.slowdown_sum += slowdown;
-        s.gofs += 1;
+        // Publish each member's expected demand (its previous GoF's
+        // footprint at its upcoming start) before anyone measures. A
+        // round's members record their actual demand only after the
+        // round, so without these reservations they would be mutually
+        // invisible — and that blind spot grows with the round's
+        // wall-span, making measured contention *drop* exactly when
+        // load is heaviest. Reservations keep occupancy monotone in
+        // the number of co-scheduled streams.
+        for s in &round {
+            if let Some((span_ms, demand_ms)) = s.last_gof {
+                let start = s.ready_ms();
+                shared.reserve(s.slot, start, start + span_ms, demand_ms);
+            }
+        }
 
-        // Violation-driven backpressure: a degradable stream that keeps
-        // blowing its SLO is pushed into the degraded mode mid-run.
-        if step.per_frame_ms > s.pipeline.slo_ms() {
-            s.consecutive_violations += 1;
-            if s.consecutive_violations >= BACKPRESSURE_GOFS && s.degradable && !s.degraded {
-                s.pipeline.set_headroom(cfg.degraded_headroom);
-                s.degraded = true;
-                s.degraded_midrun = true;
+        // Parallel section: each member steps one GoF. The shared
+        // device is only read here (the slowdown snapshot), and every
+        // stream owns its device clock, noise stream, and feature
+        // cache, so this is deterministic for any worker count.
+        let outcomes = pool.par_map_mut(&mut round, |_, s| {
+            // Pacing: wait for the GoF's head frame to arrive. A stream
+            // can never run ahead of its camera, so its steady-state
+            // GPU demand fraction is bounded by gpu_ms_per_frame /
+            // period.
+            s.device.idle_until(s.ready_ms());
+            let start = s.device.now_ms();
+            let slowdown = shared.slowdown_for(s.slot, start);
+            s.device.set_external_gpu_slowdown(slowdown);
+            s.pipeline.observe_contention(slowdown);
+            let step = s
+                .pipeline
+                .step_gof(&mut s.svc, &mut s.device)
+                .expect("unfinished stream must step");
+            (start, s.device.now_ms(), slowdown, step)
+        });
+
+        // Serial post-pass in stream order: publish demand to the
+        // shared device, then apply violation-driven backpressure — a
+        // degradable stream that keeps blowing its SLO is pushed into
+        // the degraded mode mid-run.
+        for (s, (start, end, slowdown, step)) in round.iter_mut().zip(outcomes) {
+            shared.clear_reservation(s.slot);
+            shared.record(s.slot, start, end, step.gpu_demand_ms);
+            s.last_gof = Some((end - start, step.gpu_demand_ms));
+            s.slowdown_sum += slowdown;
+            s.gofs += 1;
+            if step.per_frame_ms > s.pipeline.slo_ms() {
+                s.consecutive_violations += 1;
+                if s.consecutive_violations >= BACKPRESSURE_GOFS && s.degradable && !s.degraded {
+                    s.pipeline.set_headroom(cfg.degraded_headroom);
+                    s.degraded = true;
+                    s.degraded_midrun = true;
+                    s.consecutive_violations = 0;
+                }
+            } else {
                 s.consecutive_violations = 0;
             }
-        } else {
-            s.consecutive_violations = 0;
         }
     }
 

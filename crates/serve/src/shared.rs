@@ -34,6 +34,15 @@ pub struct SharedDevice {
     window_ms: f64,
     max_occupancy: f64,
     streams: Vec<VecDeque<UsageRecord>>,
+    /// One in-flight reservation per stream: the demand the stream is
+    /// *expected* to put on the device during the round currently being
+    /// stepped (estimated from its previous GoF). Without it, a round's
+    /// members would be mutually invisible — their demand is only
+    /// recorded after the round — and the blind spot grows with the
+    /// round's wall-span, which makes measured contention *drop* under
+    /// heavy load. Reservations close that hole so occupancy is
+    /// monotone in the number of co-scheduled streams.
+    reservations: Vec<Option<UsageRecord>>,
 }
 
 impl SharedDevice {
@@ -58,12 +67,14 @@ impl SharedDevice {
             window_ms,
             max_occupancy,
             streams: Vec::new(),
+            reservations: Vec::new(),
         }
     }
 
     /// Registers a stream; returns its slot index.
     pub fn register(&mut self) -> usize {
         self.streams.push(VecDeque::new());
+        self.reservations.push(None);
         self.streams.len() - 1
     }
 
@@ -96,24 +107,55 @@ impl SharedDevice {
         }
     }
 
+    /// Announces a stream's expected demand for the GoF it is about to
+    /// run, replacing any previous reservation for the slot. Other
+    /// streams' occupancy queries count it like a recorded burst until
+    /// [`SharedDevice::clear_reservation`] retires it (normally when
+    /// the actual demand is [`SharedDevice::record`]ed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown slot, a negative-length interval, or
+    /// negative demand.
+    pub fn reserve(&mut self, slot: usize, start_ms: f64, end_ms: f64, gpu_demand_ms: f64) {
+        assert!(end_ms >= start_ms, "interval {start_ms}..{end_ms} reversed");
+        assert!(gpu_demand_ms >= 0.0, "negative demand {gpu_demand_ms}");
+        self.reservations[slot] = Some(UsageRecord {
+            start_ms,
+            end_ms,
+            gpu_demand_ms,
+        });
+    }
+
+    /// Retires `slot`'s in-flight reservation, if any.
+    pub fn clear_reservation(&mut self, slot: usize) {
+        self.reservations[slot] = None;
+    }
+
     /// The GPU occupancy (fraction of device cycles, `0..=max`) that
     /// streams *other than* `slot` put on the device over the window
     /// ending at `now_ms`. Demand is spread uniformly over each
     /// record's interval; partial overlaps count proportionally.
     pub fn occupancy_excluding(&self, slot: usize, now_ms: f64) -> f64 {
         let lo = now_ms - self.window_ms;
+        let in_window = |r: &UsageRecord| {
+            let overlap = (r.end_ms.min(now_ms) - r.start_ms.max(lo)).max(0.0);
+            if overlap <= 0.0 {
+                return 0.0;
+            }
+            let span = (r.end_ms - r.start_ms).max(1e-9);
+            r.gpu_demand_ms * (overlap / span).min(1.0)
+        };
         let mut demand = 0.0;
         for (j, q) in self.streams.iter().enumerate() {
             if j == slot {
                 continue;
             }
             for r in q {
-                let overlap = (r.end_ms.min(now_ms) - r.start_ms.max(lo)).max(0.0);
-                if overlap <= 0.0 {
-                    continue;
-                }
-                let span = (r.end_ms - r.start_ms).max(1e-9);
-                demand += r.gpu_demand_ms * (overlap / span).min(1.0);
+                demand += in_window(r);
+            }
+            if let Some(r) = &self.reservations[j] {
+                demand += in_window(r);
             }
         }
         (demand / self.window_ms).min(self.max_occupancy)
@@ -189,6 +231,32 @@ mod tests {
         d.record(b, 0.0, 1000.0, 5000.0); // overload
         assert_eq!(d.occupancy_excluding(a, 1000.0), 0.9);
         assert!((d.slowdown_for(a, 1000.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservations_count_for_others_until_cleared() {
+        let mut d = SharedDevice::new(1000.0, 0.95);
+        let a = d.register();
+        let b = d.register();
+        d.reserve(b, 500.0, 1000.0, 250.0);
+        // b's in-flight work is visible to a...
+        let rho = d.occupancy_excluding(a, 1000.0);
+        assert!((rho - 0.25).abs() < 1e-9, "rho {rho}");
+        // ...but never to b itself.
+        assert_eq!(d.occupancy_excluding(b, 1000.0), 0.0);
+        d.clear_reservation(b);
+        assert_eq!(d.occupancy_excluding(a, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn reservation_is_replaced_not_accumulated() {
+        let mut d = SharedDevice::new(1000.0, 0.95);
+        let a = d.register();
+        let b = d.register();
+        d.reserve(b, 0.0, 1000.0, 900.0);
+        d.reserve(b, 0.0, 1000.0, 100.0);
+        let rho = d.occupancy_excluding(a, 1000.0);
+        assert!((rho - 0.1).abs() < 1e-9, "rho {rho}");
     }
 
     #[test]

@@ -57,8 +57,20 @@ fn two_co_scheduled_streams_each_observe_higher_gof_latency_than_alone() {
     let mut cfg = ServeConfig::new(DeviceKind::JetsonTx2).without_admission();
     cfg.contention_adaptive = false;
 
-    let a_alone = serve(&[a.clone()], t.clone(), Policy::MinCost, &cfg, &mut svc);
-    let b_alone = serve(&[b.clone()], t.clone(), Policy::MinCost, &cfg, &mut svc);
+    let a_alone = serve(
+        std::slice::from_ref(&a),
+        t.clone(),
+        Policy::MinCost,
+        &cfg,
+        &mut svc,
+    );
+    let b_alone = serve(
+        std::slice::from_ref(&b),
+        t.clone(),
+        Policy::MinCost,
+        &cfg,
+        &mut svc,
+    );
     let together = serve(&[a, b], t, Policy::MinCost, &cfg, &mut svc);
 
     // Alone, a stream observes no contention at all.

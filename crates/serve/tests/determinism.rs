@@ -1,0 +1,147 @@
+//! The parallel dispatcher's determinism contract: `serve()` must
+//! produce bit-identical reports no matter how many pool workers step a
+//! round, because round membership, the occupancy snapshot, and the
+//! record/backpressure post-pass are all computed serially and every
+//! stream owns its RNG, device clock, and feature cache.
+
+use std::sync::Arc;
+
+use litereconfig::offline::{profile_videos, OfflineConfig};
+use litereconfig::trainer::{train_scheduler, TrainConfig};
+use litereconfig::{FeatureService, Policy, TrainedScheduler};
+use lr_device::DeviceKind;
+use lr_kernels::branch::small_catalog;
+use lr_kernels::DetectorFamily;
+use lr_serve::{serve, ServeConfig, ServeReport, SloClass, StreamSpec};
+use lr_video::{Video, VideoSpec};
+
+fn trained() -> Arc<TrainedScheduler> {
+    let videos: Vec<Video> = (0..2)
+        .map(|i| {
+            Video::generate(VideoSpec {
+                id: 880 + i,
+                seed: 7_880 + i as u64,
+                width: 640.0,
+                height: 480.0,
+                num_frames: 60,
+            })
+        })
+        .collect();
+    let mut svc = FeatureService::new();
+    let cfg = OfflineConfig {
+        snippet_len: 30,
+        catalog: small_catalog(),
+        family: DetectorFamily::FasterRcnn,
+        reference_detector: lr_kernels::DetectorConfig::new(576, 100),
+        seed: 88,
+    };
+    let ds = profile_videos(&videos, &cfg, &mut svc);
+    Arc::new(train_scheduler(
+        &ds,
+        DetectorFamily::FasterRcnn,
+        &TrainConfig::tiny(),
+    ))
+}
+
+/// A mixed-class offered load: every SLO class is represented so the
+/// comparison covers pacing, aging, degradation, and backpressure.
+fn mixed_specs(n: usize) -> Vec<StreamSpec> {
+    (0..n)
+        .map(|i| {
+            let class = match i % 3 {
+                0 => SloClass::Gold,
+                1 => SloClass::Silver,
+                _ => SloClass::Bronze,
+            };
+            StreamSpec::synthetic(i as u32, class, 40)
+        })
+        .collect()
+}
+
+/// Exact comparison of everything a report exposes; latency stats are
+/// compared through their derived percentiles and counts, which pin the
+/// underlying sample multiset for our purposes.
+fn assert_reports_identical(a: &ServeReport, b: &ServeReport, label: &str) {
+    assert_eq!(a.streams.len(), b.streams.len(), "{label}: stream count");
+    for (x, y) in a.streams.iter().zip(&b.streams) {
+        assert_eq!(x.name, y.name, "{label}");
+        assert_eq!(x.decision, y.decision, "{label}: {}", x.name);
+        assert_eq!(x.degraded_midrun, y.degraded_midrun, "{label}: {}", x.name);
+        assert_eq!(x.frames, y.frames, "{label}: {}", x.name);
+        assert_eq!(x.gofs, y.gofs, "{label}: {}", x.name);
+        assert_eq!(x.map.to_bits(), y.map.to_bits(), "{label}: {} mAP", x.name);
+        assert_eq!(
+            x.violation_rate.to_bits(),
+            y.violation_rate.to_bits(),
+            "{label}: {} violation rate",
+            x.name
+        );
+        assert_eq!(
+            x.mean_slowdown.to_bits(),
+            y.mean_slowdown.to_bits(),
+            "{label}: {} slowdown",
+            x.name
+        );
+        assert_eq!(
+            x.latency.count(),
+            y.latency.count(),
+            "{label}: {} sample count",
+            x.name
+        );
+        for pct in [0.5, 0.95, 0.99] {
+            assert_eq!(
+                x.latency.percentile(pct).to_bits(),
+                y.latency.percentile(pct).to_bits(),
+                "{label}: {} p{}",
+                x.name,
+                pct * 100.0
+            );
+        }
+        assert_eq!(
+            x.latency.mean().to_bits(),
+            y.latency.mean().to_bits(),
+            "{label}: {} mean latency",
+            x.name
+        );
+    }
+}
+
+#[test]
+fn serve_reports_are_identical_for_one_and_four_workers() {
+    let t = trained();
+    let specs = mixed_specs(6);
+    for device in [DeviceKind::JetsonTx2, DeviceKind::AgxXavier] {
+        for seed in [1u64, 2, 3] {
+            let run = |threads: usize| {
+                let mut cfg = ServeConfig::new(device);
+                cfg.seed = seed;
+                cfg.pool_threads = threads;
+                let mut svc = FeatureService::new();
+                serve(&specs, t.clone(), Policy::CostBenefit, &cfg, &mut svc)
+            };
+            let serial = run(1);
+            let parallel = run(4);
+            assert_reports_identical(&serial, &parallel, &format!("{device:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn overload_without_admission_is_also_thread_count_invariant() {
+    // No admission gate: everything is admitted, contention is heavy,
+    // and backpressure degradation fires — the paths most sensitive to
+    // ordering must still be identical under parallel stepping.
+    let t = trained();
+    let specs = mixed_specs(8);
+    let run = |threads: usize| {
+        let mut cfg = ServeConfig::new(DeviceKind::JetsonTx2).without_admission();
+        cfg.seed = 11;
+        cfg.pool_threads = threads;
+        let mut svc = FeatureService::new();
+        serve(&specs, t.clone(), Policy::CostBenefit, &cfg, &mut svc)
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        assert_reports_identical(&serial, &run(threads), &format!("{threads} workers"));
+    }
+}
