@@ -9,7 +9,7 @@
 //! — they are exactly what makes the cost-benefit analyzer decline a
 //! feature (the MobileNet effect of Figure 2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lr_features::FeatureKind;
 
@@ -20,7 +20,7 @@ use crate::predictor::AccuracyModel;
 #[derive(Debug, Clone)]
 pub struct BenTable {
     slos: Vec<f64>,
-    per_feature: HashMap<FeatureKind, Vec<f32>>,
+    per_feature: BTreeMap<FeatureKind, Vec<f32>>,
 }
 
 impl BenTable {
@@ -34,14 +34,14 @@ impl BenTable {
     /// Panics if the light model is missing or `slos` is empty.
     pub fn compute(
         dataset: &OfflineDataset,
-        models: &HashMap<FeatureKind, AccuracyModel>,
+        models: &BTreeMap<FeatureKind, AccuracyModel>,
         slos: &[f64],
     ) -> Self {
         assert!(!slos.is_empty(), "need at least one SLO bucket");
         let light_model = models
             .get(&FeatureKind::Light)
             .expect("light model required");
-        let mut per_feature = HashMap::new();
+        let mut per_feature = BTreeMap::new();
         for (&kind, model) in models {
             if kind == FeatureKind::Light {
                 continue;

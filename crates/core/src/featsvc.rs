@@ -1,6 +1,6 @@
 //! Runtime feature extraction with per-frame raster caching.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lr_features::{cpop, hoc, hog, DeepExtractors, FeatureKind, LightFeatures};
 use lr_video::raster::{rasterize, DEFAULT_RASTER_SIZE};
@@ -38,7 +38,7 @@ type CacheKey = (u64, u32, Option<FeatureKind>);
 pub struct FeatureService {
     deep: DeepExtractors,
     raster_size: usize,
-    cache: HashMap<CacheKey, (Cached, u64)>,
+    cache: BTreeMap<CacheKey, (Cached, u64)>,
     max_cache: usize,
     /// Monotonic access counter stamping cache entries for LRU eviction.
     tick: u64,
@@ -66,7 +66,7 @@ impl FeatureService {
         Self {
             deep: DeepExtractors::new(),
             raster_size,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             max_cache: 2048,
             tick: 0,
         }

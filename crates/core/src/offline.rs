@@ -7,7 +7,7 @@
 //! for the content-aware accuracy model), and per-branch latency
 //! observations (the data for the latency regressions).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lr_device::{DeviceKind, DeviceSim};
 use lr_eval::{GtBox, MapAccumulator, PredBox};
@@ -60,7 +60,7 @@ pub struct SnippetRecord {
     /// Light features of the first frame (from reference detections).
     pub light: Vec<f32>,
     /// Heavy content features of the first frame, per kind.
-    pub heavy: HashMap<FeatureKind, Vec<f32>>,
+    pub heavy: BTreeMap<FeatureKind, Vec<f32>>,
     /// Snippet mAP per catalog branch (the accuracy labels).
     pub branch_map: Vec<f32>,
     /// Mean detector milliseconds per frame, per branch (idle TX2).
@@ -151,7 +151,7 @@ pub fn profile_videos(
             let ref_out = reference.detect(&snippet[0], cfg.reference_detector, device.rng());
             let boxes: Vec<_> = ref_out.detections.iter().map(|d| d.bbox).collect();
             let light = svc.light(video, start, &boxes);
-            let mut heavy = HashMap::new();
+            let mut heavy = BTreeMap::new();
             for kind in lr_features::HEAVY_FEATURE_KINDS {
                 if let Some(f) =
                     svc.extract_heavy(kind, video, start, Some(&ref_out.proposal_logits))

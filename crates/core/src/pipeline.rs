@@ -8,7 +8,7 @@
 //! crate) interleaves many pipelines on a shared device, stepping each
 //! GoF-by-GoF in virtual time.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use lr_device::switching::OnlineSwitchSampler;
@@ -120,9 +120,9 @@ pub struct RunResult {
     /// Component breakdown.
     pub breakdown: Breakdown,
     /// Distinct branch keys executed (Figure 4's branch coverage).
-    pub branches_used: HashSet<u64>,
+    pub branches_used: BTreeSet<u64>,
     /// Decision counts per branch key.
-    pub branch_decisions: std::collections::HashMap<u64, usize>,
+    pub branch_decisions: std::collections::BTreeMap<u64, usize>,
     /// All branch switches with their sampled costs (Figure 5).
     pub switches: Vec<SwitchEvent>,
     /// Total scheduling decisions.
@@ -188,8 +188,8 @@ pub struct StreamPipeline {
     acc: MapAccumulator,
     latency: LatencyStats,
     breakdown: Breakdown,
-    branches_used: HashSet<u64>,
-    branch_decisions: std::collections::HashMap<u64, usize>,
+    branches_used: BTreeSet<u64>,
+    branch_decisions: std::collections::BTreeMap<u64, usize>,
     switches: Vec<SwitchEvent>,
     decisions: usize,
     infeasible: usize,
@@ -236,8 +236,8 @@ impl StreamPipeline {
             acc: MapAccumulator::new(),
             latency: LatencyStats::new(),
             breakdown: Breakdown::default(),
-            branches_used: HashSet::new(),
-            branch_decisions: std::collections::HashMap::new(),
+            branches_used: BTreeSet::new(),
+            branch_decisions: std::collections::BTreeMap::new(),
             switches: Vec::new(),
             decisions: 0,
             infeasible: 0,
@@ -646,8 +646,8 @@ mod tests {
             map: 0.5,
             latency,
             breakdown: b,
-            branches_used: HashSet::new(),
-            branch_decisions: std::collections::HashMap::new(),
+            branches_used: BTreeSet::new(),
+            branch_decisions: std::collections::BTreeMap::new(),
             switches: Vec::new(),
             decisions: 1,
             infeasible_decisions: 0,

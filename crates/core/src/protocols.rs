@@ -195,7 +195,7 @@ pub fn run_static_detector(
         latency: stats,
         breakdown,
         branches_used: std::iter::once(cfg.key()).collect(),
-        branch_decisions: std::collections::HashMap::new(),
+        branch_decisions: std::collections::BTreeMap::new(),
         switches: Vec::new(),
         decisions: 0,
         infeasible_decisions: 0,
@@ -209,7 +209,7 @@ pub fn run_adascale_ms(videos: &[Video], device_kind: DeviceKind, seed: u64) -> 
     let mut acc = MapAccumulator::new();
     let mut stats = LatencyStats::new();
     let mut breakdown = Breakdown::default();
-    let mut branches = std::collections::HashSet::new();
+    let mut branches = std::collections::BTreeSet::new();
     for video in videos {
         let mut ms = lr_kernels::adascale::AdaScaleMs::new();
         for truth in &video.frames {
@@ -231,7 +231,7 @@ pub fn run_adascale_ms(videos: &[Video], device_kind: DeviceKind, seed: u64) -> 
         latency: stats,
         breakdown,
         branches_used: branches,
-        branch_decisions: std::collections::HashMap::new(),
+        branch_decisions: std::collections::BTreeMap::new(),
         switches: Vec::new(),
         decisions: 0,
         infeasible_decisions: 0,
@@ -270,8 +270,8 @@ pub fn run_heavy_model(
         map: acc.finalize(0.5).map,
         latency: stats,
         breakdown,
-        branches_used: std::collections::HashSet::new(),
-        branch_decisions: std::collections::HashMap::new(),
+        branches_used: std::collections::BTreeSet::new(),
+        branch_decisions: std::collections::BTreeMap::new(),
         switches: Vec::new(),
         decisions: 0,
         infeasible_decisions: 0,

@@ -21,7 +21,7 @@
 //! with the kernel for the latency budget, which is the paper's central
 //! tension.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lr_device::{DeviceSim, OpUnit, SwitchingCostModel};
@@ -54,7 +54,7 @@ pub struct TrainedScheduler {
     /// The branch catalog decisions index into.
     pub catalog: Vec<Branch>,
     /// Accuracy models per feature kind (always contains `Light`).
-    pub accuracy: HashMap<FeatureKind, AccuracyModel>,
+    pub accuracy: BTreeMap<FeatureKind, AccuracyModel>,
     /// Per-branch latency regressions.
     pub latency: LatencyModel,
     /// Benefit lookup tables.
@@ -560,7 +560,7 @@ mod tests {
         };
         let mut svc = FeatureService::new();
         let ds = profile_videos(&videos, &cfg, &mut svc);
-        let mut accuracy = HashMap::new();
+        let mut accuracy = BTreeMap::new();
         accuracy.insert(
             FeatureKind::Light,
             AccuracyModel::train(FeatureKind::Light, &ds, &AccuracyModelConfig::tiny(), 1),

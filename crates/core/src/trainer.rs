@@ -1,6 +1,6 @@
 //! End-to-end offline training: profiled dataset -> trained scheduler.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lr_device::SwitchingCostModel;
 use lr_features::FeatureKind;
@@ -84,7 +84,7 @@ pub fn train_scheduler(
     let models = pool.par_map(&kinds, |&kind| {
         AccuracyModel::train(kind, dataset, &cfg.model, cfg.seed)
     });
-    let accuracy: HashMap<FeatureKind, AccuracyModel> = kinds.into_iter().zip(models).collect();
+    let accuracy: BTreeMap<FeatureKind, AccuracyModel> = kinds.into_iter().zip(models).collect();
 
     let latency = LatencyModel::train(dataset);
     let ben = BenTable::compute(dataset, &accuracy, &cfg.slos_ms);

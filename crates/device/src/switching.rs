@@ -72,6 +72,7 @@ impl Default for SwitchingCostModel {
 #[derive(Debug, Clone)]
 pub struct OnlineSwitchSampler {
     model: SwitchingCostModel,
+    // lr-lint: allow(d2) — membership-only set (insert/contains), never iterated.
     warmed: HashSet<u64>,
     /// Probability that switching to a never-before-used branch triggers a
     /// cold graph build (the 1–5 s outliers of Figure 5(b)).
@@ -85,7 +86,7 @@ impl OnlineSwitchSampler {
     pub fn new(model: SwitchingCostModel) -> Self {
         Self {
             model,
-            warmed: HashSet::new(),
+            warmed: HashSet::new(), // lr-lint: allow(d2)
             cold_miss_prob: 0.25,
             warm_outlier_prob: 0.002,
         }

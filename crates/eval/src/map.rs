@@ -1,6 +1,6 @@
 //! VOC-style mean average precision.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lr_video::BBox;
 
@@ -31,7 +31,7 @@ pub struct MapResult {
     pub map: f64,
     /// Per-class AP, keyed by class index (only classes with ground
     /// truth).
-    pub per_class_ap: HashMap<usize, f64>,
+    pub per_class_ap: BTreeMap<usize, f64>,
     /// Total ground-truth instances evaluated.
     pub total_gt: usize,
     /// Total predictions evaluated.
@@ -66,8 +66,8 @@ struct PredRecord {
 pub struct MapAccumulator {
     next_frame: u64,
     // Per class: ground-truth boxes per frame.
-    gt: HashMap<usize, HashMap<u64, Vec<BBox>>>,
-    preds: HashMap<usize, Vec<PredRecord>>,
+    gt: BTreeMap<usize, BTreeMap<u64, Vec<BBox>>>,
+    preds: BTreeMap<usize, Vec<PredRecord>>,
     total_gt: usize,
     total_pred: usize,
 }
@@ -112,14 +112,14 @@ impl MapAccumulator {
     /// with predictions but no ground truth are ignored (standard VOC).
     /// An evaluation with no ground truth at all yields mAP 0.
     pub fn finalize(&self, iou_threshold: f32) -> MapResult {
-        let mut per_class_ap = HashMap::new();
+        let mut per_class_ap = BTreeMap::new();
         for (&class, gt_frames) in &self.gt {
             let npos: usize = gt_frames.values().map(Vec::len).sum();
             let preds = self.preds.get(&class).cloned().unwrap_or_default();
             let ap = average_precision(gt_frames, preds, npos, iou_threshold);
             per_class_ap.insert(class, ap);
         }
-        // Sum in sorted class order: summing in HashMap iteration order
+        // Sum in sorted class order: summing in BTreeMap iteration order
         // would make the last bits of mAP depend on the map's random
         // state, breaking bit-exact reproducibility across runs.
         let map = if per_class_ap.is_empty() {
@@ -140,7 +140,7 @@ impl MapAccumulator {
 
 /// AP for one class via greedy matching and all-point interpolation.
 fn average_precision(
-    gt_frames: &HashMap<u64, Vec<BBox>>,
+    gt_frames: &BTreeMap<u64, Vec<BBox>>,
     mut preds: Vec<PredRecord>,
     npos: usize,
     iou_threshold: f32,
@@ -150,7 +150,7 @@ fn average_precision(
     }
     preds.sort_by(|a, b| b.score.total_cmp(&a.score));
     // Per frame, which GT boxes are already matched.
-    let mut matched: HashMap<u64, Vec<bool>> = gt_frames
+    let mut matched: BTreeMap<u64, Vec<bool>> = gt_frames
         .iter()
         .map(|(&f, boxes)| (f, vec![false; boxes.len()]))
         .collect();

@@ -4,7 +4,7 @@
 //! are what you reach for when a run's mAP moves unexpectedly, so the
 //! harness exposes them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::map::MapResult;
 
@@ -79,7 +79,7 @@ pub fn ap_histogram(result: &MapResult, buckets: usize) -> Vec<usize> {
 /// by descending improvement of `after` over `before`. Classes present in
 /// only one result are reported against an AP of 0.
 pub fn per_class_delta(before: &MapResult, after: &MapResult) -> Vec<(usize, f64)> {
-    let mut classes: HashMap<usize, (f64, f64)> = HashMap::new();
+    let mut classes: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
     for (&c, &ap) in &before.per_class_ap {
         classes.entry(c).or_insert((0.0, 0.0)).0 = ap;
     }

@@ -164,12 +164,14 @@ impl DetectorSim {
         let texture = truth.regime.clutter.texture_amplitude();
         let short_side = truth.width.min(truth.height).max(1.0);
 
-        // Rank objects by salience for proposal competition.
+        // Rank objects by salience for proposal competition. NaN-total
+        // ordering plus an index tie-break keeps the ranking deterministic
+        // even for degenerate (NaN-area) boxes.
         let mut order: Vec<usize> = (0..truth.objects.len()).collect();
         order.sort_by(|&a, &b| {
             salience(&truth.objects[b])
-                .partial_cmp(&salience(&truth.objects[a]))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&salience(&truth.objects[a]))
+                .then(a.cmp(&b))
         });
 
         // Clutter-induced distractor proposals compete for RPN slots.

@@ -168,6 +168,7 @@ impl TrackerSim {
         let p = self.kind.params();
         let ds_drift = (self.downsample as f32).sqrt();
         let ds_loss = 1.0 + p.ds_loss_coeff * (self.downsample as f32 - 1.0);
+        // lr-lint: allow(d2) — pure per-id lookup, never iterated.
         let by_id: HashMap<u32, &lr_video::GtObject> =
             truth.objects.iter().map(|o| (o.id, o)).collect();
         let short_side = truth.width.min(truth.height).max(1.0);

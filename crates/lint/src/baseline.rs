@@ -1,0 +1,349 @@
+//! The ratcheted baseline: committed per-rule violation counts that may
+//! only go down.
+//!
+//! The baseline records, for every rule, the suppression-directive count
+//! and a per-file finding count. `--check` fails when any rule's total
+//! (or allow count) rises above the committed value and points at the
+//! files that grew; `--update` rewrites the file from the current scan.
+//! Per-file granularity is the sweet spot: coarse enough to survive
+//! line-number churn from unrelated edits, fine enough that a check
+//! failure names the offending file immediately.
+//!
+//! Serialization is a hand-rolled, deterministic JSON subset (objects,
+//! strings, unsigned integers) — the workspace vendors no serde, and the
+//! baseline must produce byte-identical files for identical counts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Finding, RuleId, ALL_RULES};
+
+/// Committed (or freshly computed) counts for one rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleCounts {
+    /// `lr-lint: allow(<rule>)` directives in the tree.
+    pub allows: usize,
+    /// Findings per workspace-relative file path.
+    pub files: BTreeMap<String, usize>,
+}
+
+impl RuleCounts {
+    /// Total findings across files.
+    pub fn total(&self) -> usize {
+        self.files.values().sum()
+    }
+}
+
+/// The full baseline: counts per rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per-rule counts, keyed by canonical rule name.
+    pub rules: BTreeMap<String, RuleCounts>,
+}
+
+impl Baseline {
+    /// Builds a baseline from a scan's findings and allow census.
+    pub fn from_scan(findings: &[Finding], allows: &[usize; ALL_RULES.len()]) -> Self {
+        let mut rules: BTreeMap<String, RuleCounts> = ALL_RULES
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                (
+                    r.name().to_string(),
+                    RuleCounts {
+                        allows: allows[i],
+                        files: BTreeMap::new(),
+                    },
+                )
+            })
+            .collect();
+        for f in findings {
+            let entry = rules.entry(f.rule.name().to_string()).or_default();
+            *entry.files.entry(f.file.clone()).or_insert(0) += 1;
+        }
+        Self { rules }
+    }
+
+    /// Counts for one rule (empty if absent).
+    pub fn rule(&self, rule: RuleId) -> RuleCounts {
+        self.rules.get(rule.name()).cloned().unwrap_or_default()
+    }
+
+    /// Renders the baseline as deterministic pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"rules\": {\n");
+        let n = self.rules.len();
+        for (i, (name, counts)) in self.rules.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {}: {{\n      \"allows\": {},\n      \"total\": {},\n      \"files\": {{",
+                quote(name),
+                counts.allows,
+                counts.total()
+            );
+            if counts.files.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push('\n');
+                let m = counts.files.len();
+                for (j, (file, count)) in counts.files.iter().enumerate() {
+                    let _ = write!(out, "        {}: {}", quote(file), count);
+                    out.push_str(if j + 1 < m { ",\n" } else { "\n" });
+                }
+                out.push_str("      }\n");
+            }
+            out.push_str("    }");
+            out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a baseline from JSON. The redundant `total` field is
+    /// ignored on input (recomputed from `files`).
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let value = json::parse(src)?;
+        let root = value.as_object().ok_or("baseline root must be an object")?;
+        let rules_val = root.get("rules").ok_or("missing \"rules\" key")?;
+        let rules_obj = rules_val.as_object().ok_or("\"rules\" must be an object")?;
+        let mut rules = BTreeMap::new();
+        for (name, v) in rules_obj {
+            let obj = v
+                .as_object()
+                .ok_or_else(|| format!("rule {name} must be an object"))?;
+            let allows = obj
+                .get("allows")
+                .and_then(json::Value::as_usize)
+                .unwrap_or(0);
+            let mut files = BTreeMap::new();
+            if let Some(files_obj) = obj.get("files").and_then(json::Value::as_object) {
+                for (file, count) in files_obj {
+                    let count = count
+                        .as_usize()
+                        .ok_or_else(|| format!("count for {file} must be an integer"))?;
+                    files.insert(file.clone(), count);
+                }
+            }
+            rules.insert(name.clone(), RuleCounts { allows, files });
+        }
+        Ok(Self { rules })
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON reader: objects, strings, and unsigned integers — the
+/// exact subset the baseline format uses.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Object(BTreeMap<String, Value>),
+        String(String),
+        Number(u64),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn as_usize(&self) -> Option<usize> {
+            match self {
+                Value::Number(n) => Some(*n as usize),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let chars: Vec<char> = src.chars().collect();
+        let mut p = Parser { chars, i: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i < p.chars.len() {
+            return Err(format!("trailing input at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        i: usize,
+    }
+
+    impl Parser {
+        fn skip_ws(&mut self) {
+            while self.chars.get(self.i).is_some_and(|c| c.is_whitespace()) {
+                self.i += 1;
+            }
+        }
+
+        fn consume(&mut self, c: char) -> Result<(), String> {
+            self.skip_ws();
+            if self.chars.get(self.i) == Some(&c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{c}' at offset {}", self.i))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.chars.get(self.i) {
+                Some('{') => self.object(),
+                Some('"') => Ok(Value::String(self.string()?)),
+                Some(c) if c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?} at offset {}", self.i)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.consume('{')?;
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.chars.get(self.i) == Some(&'}') {
+                self.i += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.consume(':')?;
+                let val = self.value()?;
+                map.insert(key, val);
+                self.skip_ws();
+                match self.chars.get(self.i) {
+                    Some(',') => self.i += 1,
+                    Some('}') => {
+                        self.i += 1;
+                        break;
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+            Ok(Value::Object(map))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.consume('"')?;
+            let mut out = String::new();
+            loop {
+                match self.chars.get(self.i) {
+                    Some('"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some('\\') => {
+                        self.i += 1;
+                        match self.chars.get(self.i) {
+                            Some('n') => out.push('\n'),
+                            Some(&c) => out.push(c),
+                            None => return Err("unterminated escape".into()),
+                        }
+                        self.i += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c);
+                        self.i += 1;
+                    }
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let mut n: u64 = 0;
+            let start = self.i;
+            while let Some(c) = self.chars.get(self.i) {
+                if let Some(d) = c.to_digit(10) {
+                    n = n.saturating_mul(10).saturating_add(d as u64);
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.i == start {
+                return Err(format!("expected digits at offset {start}"));
+            }
+            Ok(Value::Number(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::scan_source;
+
+    fn scan_to_baseline(path: &str, src: &str) -> Baseline {
+        let scan = scan_source(path, src);
+        Baseline::from_scan(&scan.findings, &scan.allows)
+    }
+
+    #[test]
+    fn roundtrip_preserves_counts() {
+        let src = "fn f() { let m = HashMap::new(); m.get(&0).unwrap(); }\n// lr-lint: allow(p1)\nfn g() {}";
+        let b = scan_to_baseline("crates/core/src/x.rs", src);
+        let parsed = Baseline::parse(&b.to_json()).expect("parse back");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.rule(RuleId::D2).total(), 1);
+        assert_eq!(parsed.rule(RuleId::P1).total(), 1);
+        assert_eq!(parsed.rule(RuleId::P1).allows, 1);
+    }
+
+    #[test]
+    fn json_output_is_deterministic_and_sorted() {
+        let src = "fn f() { let a = HashSet::new(); }";
+        let b1 = scan_to_baseline("crates/a.rs", src);
+        let b2 = scan_to_baseline("crates/a.rs", src);
+        assert_eq!(b1.to_json(), b2.to_json());
+        let json = b1.to_json();
+        // All five rules present, in name order.
+        let d1 = json.find("\"D1\"").expect("D1");
+        let p1 = json.find("\"P1\"").expect("P1");
+        assert!(d1 < p1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse("{\"rules\": 3}").is_err());
+        assert!(Baseline::parse("{\"rules\": {}} trailing").is_err());
+        assert!(Baseline::parse("{\"version\": 1}").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_has_all_rules_at_zero() {
+        let b = scan_to_baseline("crates/x.rs", "fn clean() {}");
+        for rule in ALL_RULES {
+            assert_eq!(b.rule(rule).total(), 0, "{rule:?}");
+            assert_eq!(b.rule(rule).allows, 0, "{rule:?}");
+        }
+        let parsed = Baseline::parse(&b.to_json()).expect("parse");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -1,0 +1,424 @@
+//! A minimal Rust tokenizer — just enough syntax awareness for the lint
+//! rules to never misfire inside strings, comments, or literals.
+//!
+//! The lexer understands line comments (kept, so suppression directives
+//! can be read), nested block comments, plain/byte/raw string literals,
+//! character literals vs. lifetimes, loose numeric literals (including
+//! suffixes and exponents), raw identifiers, and single-character
+//! punctuation. It deliberately does *not* build a syntax tree: the rule
+//! engine works on the flat token stream plus a handful of derived masks
+//! (test regions, `use` declarations), which keeps the whole checker
+//! std-only and dependency-free per the vendored-deps policy.
+
+/// What one lexed token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (raw identifiers are unescaped: `r#type`
+    /// lexes as `type`).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// A `//` line comment, text after the slashes (doc comments
+    /// included).
+    LineComment(String),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenizes Rust source. Never fails: unterminated constructs consume
+/// to end of input, which is the right behavior for a linter that must
+/// not crash on in-progress code.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.plain_string();
+                }
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"`-delimited string body (opening quote already
+    /// consumed), honoring backslash escapes.
+    fn plain_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body: `#`*n* `"` ... `"` `#`*n* (the `r` /
+    /// `br` prefix is already consumed). Returns false if this is not
+    /// actually a raw string opener (caller then treats `#` as punct).
+    fn raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump();
+        }
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    if (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            // Escaped char literal: consume until the closing quote.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped char (or escape-kind letter)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            // One payload char then a quote: a plain char literal.
+            Some(_) if self.peek(1) == Some('\'') => {
+                self.bump();
+                self.bump();
+            }
+            // Otherwise a lifetime: consume the identifier, no token
+            // emitted (rules never inspect lifetimes).
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let _ = line;
+            }
+            _ => {}
+        }
+    }
+
+    /// Loose numeric literal: digits, letters (hex, suffixes, exponent
+    /// markers), underscores, a `.` only when followed by a digit (so
+    /// `0..n` ranges and method calls on literals are not swallowed),
+    /// and a sign right after an exponent marker.
+    fn number(&mut self) {
+        let mut prev = '0';
+        while let Some(c) = self.peek(0) {
+            let take = c.is_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E'));
+            if !take {
+                break;
+            }
+            prev = c;
+            self.bump();
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut word = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: r"", r#""#, br"", b"", and raw
+        // identifiers r#ident.
+        match (word.as_str(), self.peek(0)) {
+            ("r" | "br", Some('"')) | ("b", Some('"')) => {
+                self.bump();
+                self.plain_string_or_raw(&word);
+            }
+            ("r" | "br", Some('#')) => {
+                if !self.raw_string() {
+                    // r#ident — a raw identifier: consume `#` + word.
+                    if word == "r" && self.peek(1).is_some_and(|c| c.is_alphabetic() || c == '_') {
+                        self.bump(); // '#'
+                        let mut raw = String::new();
+                        while let Some(c) = self.peek(0) {
+                            if c.is_alphanumeric() || c == '_' {
+                                raw.push(c);
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        self.push(TokenKind::Ident(raw), line);
+                    } else {
+                        self.push(TokenKind::Ident(word), line);
+                    }
+                }
+            }
+            _ => self.push(TokenKind::Ident(word), line),
+        }
+    }
+
+    /// After consuming a quote that follows an `r`/`br`/`b` prefix:
+    /// `b"` is an escaped string, `r"`/`br"` are raw (no escapes).
+    fn plain_string_or_raw(&mut self, prefix: &str) {
+        if prefix == "b" {
+            self.plain_string();
+        } else {
+            // Raw with zero hashes: scan to the next bare quote.
+            while let Some(c) = self.bump() {
+                if c == '"' {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_puncts() {
+        let toks = lex("let x = a.b();");
+        assert_eq!(idents("let x = a.b();"), vec!["let", "x", "a", "b"]);
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+        assert!(toks.iter().any(|t| t.is_punct(';')));
+    }
+
+    #[test]
+    fn string_contents_are_not_tokens() {
+        assert_eq!(
+            idents(r#"let s = "HashMap::iter() // not code"; s"#),
+            vec!["let", "s", "s"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_skipped() {
+        let src = "let s = r#\"quote \" and HashMap\"#; end";
+        assert_eq!(idents(src), vec!["let", "s", "end"]);
+    }
+
+    #[test]
+    fn raw_string_without_hashes() {
+        assert_eq!(idents("r\"HashMap\" x"), vec!["x"]);
+    }
+
+    #[test]
+    fn byte_strings_are_skipped() {
+        assert_eq!(idents("b\"HashMap\" x"), vec!["x"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_unescaped() {
+        assert_eq!(
+            idents("let r#type = 1; r#type"),
+            vec!["let", "type", "type"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("a /* x /* HashMap */ y */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn line_comments_are_captured() {
+        let toks = lex("x // lr-lint: allow(d2)\ny");
+        let comments: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::LineComment(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(comments, vec![" lr-lint: allow(d2)"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        // 'a' is a char; 'b in &'b is a lifetime; '\n' is an escape.
+        assert_eq!(
+            idents("let c = 'a'; fn f<'b>(x: &'b str) { let n = '\\n'; }"),
+            vec!["let", "c", "fn", "f", "x", "str", "let", "n"]
+        );
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        assert_eq!(idents(r"let q = '\''; done"), vec!["let", "q", "done"]);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_swallow_ranges() {
+        // `0..len` must keep `len` as an identifier.
+        assert_eq!(idents("for i in 0..len {}"), vec!["for", "i", "in", "len"]);
+        assert_eq!(idents("let x = 1.5e-3f32; y"), vec!["let", "x", "y"]);
+        assert_eq!(idents("let x = 0xFF_u8; y"), vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn string_with_escapes_and_newlines() {
+        let toks = lex("let s = \"a\\\"b\nc\"; after");
+        // `after` must land on line 2.
+        let after = toks.iter().find(|t| t.ident() == Some("after")).unwrap();
+        assert_eq!(after.line, 2);
+    }
+
+    #[test]
+    fn double_colon_arrives_as_two_colons() {
+        let toks = lex("Instant::now()");
+        assert_eq!(toks[0].ident(), Some("Instant"));
+        assert!(toks[1].is_punct(':') && toks[2].is_punct(':'));
+        assert_eq!(toks[3].ident(), Some("now"));
+    }
+}

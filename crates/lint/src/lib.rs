@@ -1,0 +1,247 @@
+//! `lr-lint`: the workspace invariant checker.
+//!
+//! The reproduction's correctness rests on invariants no compiler
+//! enforces: results must be byte-identical for any `LR_POOL_THREADS`,
+//! simulated latency must come only from `DeviceSim`/profile models, and
+//! float orderings must be NaN-total. This crate machine-checks those
+//! invariants with a handful of repo-specific rules over a minimal Rust
+//! tokenizer (no syn — the workspace vendors no parser dependencies),
+//! compared against a committed, ratcheted baseline
+//! (`lint_baseline.json`): counts may fall, never rise.
+//!
+//! See [`rules`] for the rule catalog (D1, D2, D3, N1, P1), [`baseline`]
+//! for the ratchet format, and the `lr-lint` binary for the CLI
+//! (`--check`, `--update`, `--explain <rule>`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use baseline::Baseline;
+use rules::{Finding, RuleId, ALL_RULES};
+
+/// Scan of a whole workspace: merged findings and allow census.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceScan {
+    /// All findings, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Per-rule allow-directive counts, in [`ALL_RULES`] order.
+    pub allows: [usize; ALL_RULES.len()],
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl WorkspaceScan {
+    /// Scans a list of `(relative_path, source)` pairs.
+    pub fn from_sources<'a>(sources: impl IntoIterator<Item = (&'a str, &'a str)>) -> Self {
+        let mut out = Self::default();
+        for (path, src) in sources {
+            let scan = rules::scan_source(path, src);
+            out.findings.extend(scan.findings);
+            for (acc, n) in out.allows.iter_mut().zip(scan.allows) {
+                *acc += n;
+            }
+            out.files_scanned += 1;
+        }
+        out.findings
+            .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+        out
+    }
+
+    /// Findings for one rule.
+    pub fn findings_for(&self, rule: RuleId) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.rule == rule)
+    }
+
+    /// The baseline this scan would commit.
+    pub fn to_baseline(&self) -> Baseline {
+        Baseline::from_scan(&self.findings, &self.allows)
+    }
+}
+
+/// One rule's regression against the committed baseline.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Which rule regressed.
+    pub rule: RuleId,
+    /// Current / committed totals (current > committed, or equal when
+    /// only the allow count rose).
+    pub current: usize,
+    /// Committed total.
+    pub committed: usize,
+    /// Current / committed allow-directive counts.
+    pub allows: (usize, usize),
+    /// Findings in files whose count rose above the committed per-file
+    /// count — the places a new violation must live.
+    pub new_sites: Vec<Finding>,
+}
+
+/// Outcome of `--check`.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Rules whose counts rose.
+    pub regressions: Vec<Regression>,
+    /// Rules whose counts fell (the baseline should be re-ratcheted).
+    pub improved: Vec<(RuleId, usize, usize)>,
+}
+
+impl CheckReport {
+    /// True when no rule regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares a scan against the committed baseline.
+pub fn check(scan: &WorkspaceScan, committed: &Baseline) -> CheckReport {
+    let current = scan.to_baseline();
+    let mut report = CheckReport::default();
+    for rule in ALL_RULES {
+        let cur = current.rule(rule);
+        let base = committed.rule(rule);
+        let (cur_total, base_total) = (cur.total(), base.total());
+        let (cur_allows, base_allows) = (cur.allows, base.allows);
+        if cur_total > base_total || cur_allows > base_allows {
+            let new_sites = scan
+                .findings_for(rule)
+                .filter(|f| {
+                    let committed_in_file = base.files.get(&f.file).copied().unwrap_or(0);
+                    cur.files.get(&f.file).copied().unwrap_or(0) > committed_in_file
+                })
+                .cloned()
+                .collect();
+            report.regressions.push(Regression {
+                rule,
+                current: cur_total,
+                committed: base_total,
+                allows: (cur_allows, base_allows),
+                new_sites,
+            });
+        } else if cur_total < base_total || cur_allows < base_allows {
+            report.improved.push((rule, cur_total, base_total));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(sources: &[(&str, &str)]) -> WorkspaceScan {
+        WorkspaceScan::from_sources(sources.iter().copied())
+    }
+
+    const CLEAN: &str = "fn f(m: &std::collections::BTreeMap<u32, u32>) -> u32 { m.len() as u32 }";
+    const ONE_D2: &str = "fn f() { let m = HashMap::new(); }";
+
+    #[test]
+    fn check_passes_on_matching_baseline() {
+        let s = scan(&[("crates/a/src/lib.rs", ONE_D2)]);
+        let report = check(&s, &s.to_baseline());
+        assert!(report.passed());
+        assert!(report.improved.is_empty());
+    }
+
+    #[test]
+    fn check_fails_when_a_count_rises_and_names_the_site() {
+        let before = scan(&[("crates/a/src/lib.rs", CLEAN)]);
+        let after = scan(&[
+            ("crates/a/src/lib.rs", CLEAN),
+            ("crates/b/src/lib.rs", ONE_D2),
+        ]);
+        let report = check(&after, &before.to_baseline());
+        assert!(!report.passed());
+        let reg = &report.regressions[0];
+        assert_eq!(reg.rule, RuleId::D2);
+        assert_eq!((reg.current, reg.committed), (1, 0));
+        assert_eq!(reg.new_sites.len(), 1);
+        assert_eq!(reg.new_sites[0].file, "crates/b/src/lib.rs");
+        assert_eq!(reg.new_sites[0].line, 1);
+    }
+
+    #[test]
+    fn check_reports_improvement_when_counts_fall() {
+        let before = scan(&[("crates/a/src/lib.rs", ONE_D2)]);
+        let after = scan(&[("crates/a/src/lib.rs", CLEAN)]);
+        let report = check(&after, &before.to_baseline());
+        assert!(report.passed());
+        assert_eq!(report.improved, vec![(RuleId::D2, 0, 1)]);
+    }
+
+    #[test]
+    fn rising_allow_count_is_a_regression_even_at_equal_totals() {
+        let before = scan(&[("crates/a/src/lib.rs", CLEAN)]);
+        let after = scan(&[(
+            "crates/a/src/lib.rs",
+            "// lr-lint: allow(d2)\nfn f() { let m = HashMap::new(); }",
+        )]);
+        let report = check(&after, &before.to_baseline());
+        assert!(!report.passed());
+        let reg = &report.regressions[0];
+        assert_eq!(reg.rule, RuleId::D2);
+        assert_eq!(reg.allows, (1, 0));
+        // The violation itself is suppressed, so totals stayed equal.
+        assert_eq!((reg.current, reg.committed), (0, 0));
+    }
+
+    #[test]
+    fn moving_a_violation_between_files_is_not_a_regression() {
+        // Per-file counts shift but the total is flat — by design the
+        // ratchet only gates totals, so refactors that move code (file
+        // renames, module splits) do not trip it.
+        let before = scan(&[
+            ("crates/a/src/lib.rs", ONE_D2),
+            ("crates/b/src/lib.rs", CLEAN),
+        ]);
+        let after = scan(&[
+            ("crates/a/src/lib.rs", CLEAN),
+            ("crates/b/src/lib.rs", ONE_D2),
+        ]);
+        assert!(check(&after, &before.to_baseline()).passed());
+    }
+
+    #[test]
+    fn findings_are_sorted_by_file_then_line() {
+        let s = scan(&[
+            ("crates/b/src/lib.rs", ONE_D2),
+            (
+                "crates/a/src/lib.rs",
+                "fn f() {}\nfn g() { let m = HashSet::new(); }",
+            ),
+        ]);
+        let files: Vec<&str> = s.findings.iter().map(|f| f.file.as_str()).collect();
+        assert_eq!(files, vec!["crates/a/src/lib.rs", "crates/b/src/lib.rs"]);
+    }
+
+    #[test]
+    fn seeded_violations_of_every_rule_are_caught() {
+        let seeded = "fn f(v: &mut [f32], o: Option<u32>) {\n\
+             let t = Instant::now();\n\
+             let m = HashMap::new();\n\
+             let r = thread_rng();\n\
+             v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n\
+             let x = o.unwrap();\n\
+             }";
+        let clean = scan(&[("crates/a/src/lib.rs", CLEAN)]);
+        let bad = scan(&[
+            ("crates/a/src/lib.rs", CLEAN),
+            ("crates/a/src/scratch.rs", seeded),
+        ]);
+        let report = check(&bad, &clean.to_baseline());
+        let regressed: Vec<RuleId> = report.regressions.iter().map(|r| r.rule).collect();
+        assert_eq!(regressed, ALL_RULES.to_vec());
+        for reg in &report.regressions {
+            assert!(
+                reg.new_sites
+                    .iter()
+                    .all(|f| f.file == "crates/a/src/scratch.rs"),
+                "{reg:?}"
+            );
+        }
+    }
+}

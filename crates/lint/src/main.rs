@@ -1,0 +1,179 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! lr-lint --check                 # compare against lint_baseline.json (CI gate)
+//! lr-lint --update                # regenerate the baseline from the current tree
+//! lr-lint --explain <rule>        # document a rule (d1|d2|d3|n1|p1)
+//! lr-lint --root <dir>            # workspace root (default: current directory)
+//! lr-lint --baseline <file>       # baseline path (default: <root>/lint_baseline.json)
+//! ```
+//!
+//! Exit codes: 0 = ok, 1 = ratchet failure (--check found regressions),
+//! 2 = usage or I/O error.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lr_lint::baseline::Baseline;
+use lr_lint::rules::{RuleId, ALL_RULES};
+use lr_lint::{check, walk, WorkspaceScan};
+
+enum Mode {
+    Check,
+    Update,
+    Explain(RuleId),
+}
+
+struct Args {
+    mode: Mode,
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(run) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("lr-lint: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: lr-lint [--check | --update | --explain <rule>] \
+[--root <dir>] [--baseline <file>]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut mode = None;
+    let mut root = None;
+    let mut baseline = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => mode = Some(Mode::Check),
+            "--update" => mode = Some(Mode::Update),
+            "--explain" => {
+                let name = it.next().ok_or("--explain needs a rule name")?;
+                let rule = RuleId::parse(name)
+                    .ok_or_else(|| format!("unknown rule {name:?} (try d1, d2, d3, n1, p1)"))?;
+                mode = Some(Mode::Explain(rule));
+            }
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory")?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--baseline" => {
+                let file = it.next().ok_or("--baseline needs a file path")?;
+                baseline = Some(PathBuf::from(file));
+            }
+            other => return Err(format!("unrecognized argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        mode: mode.unwrap_or(Mode::Check),
+        root: root.unwrap_or_else(|| PathBuf::from(".")),
+        baseline,
+    })
+}
+
+fn run(args: Args) -> Result<ExitCode, String> {
+    if let Mode::Explain(rule) = args.mode {
+        println!("{} — {}", rule.name(), rule.summary());
+        println!();
+        println!("{}", rule.explain());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| args.root.join("lint_baseline.json"));
+
+    let files = walk::collect_rs_files(&args.root)
+        .map_err(|e| format!("walking {}: {e}", args.root.display()))?;
+    if files.is_empty() {
+        return Err(format!("no .rs files under {}", args.root.display()));
+    }
+    let mut sources = Vec::with_capacity(files.len());
+    for f in &files {
+        let src = fs::read_to_string(&f.abs).map_err(|e| format!("reading {}: {e}", f.rel))?;
+        sources.push((f.rel.clone(), src));
+    }
+    let scan = WorkspaceScan::from_sources(sources.iter().map(|(p, s)| (p.as_str(), s.as_str())));
+
+    match args.mode {
+        Mode::Explain(_) => unreachable!("handled above"),
+        Mode::Update => {
+            let json = scan.to_baseline().to_json();
+            fs::write(&baseline_path, &json)
+                .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+            println!(
+                "lr-lint: wrote {} from {} files",
+                baseline_path.display(),
+                scan.files_scanned
+            );
+            print_totals(&scan);
+            Ok(ExitCode::SUCCESS)
+        }
+        Mode::Check => {
+            let committed = fs::read_to_string(&baseline_path).map_err(|e| {
+                format!(
+                    "reading {}: {e} (run `lr-lint --update` to create it)",
+                    baseline_path.display()
+                )
+            })?;
+            let committed = Baseline::parse(&committed)
+                .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?;
+            let report = check(&scan, &committed);
+            for (rule, cur, base) in &report.improved {
+                println!(
+                    "lr-lint: {} improved ({base} -> {cur}); run `lr-lint --update` to ratchet",
+                    rule.name()
+                );
+            }
+            if report.passed() {
+                println!(
+                    "lr-lint: OK — {} files, no rule above baseline",
+                    scan.files_scanned
+                );
+                print_totals(&scan);
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for reg in &report.regressions {
+                    eprintln!(
+                        "lr-lint: {} regressed: {} findings (baseline {}), {} allows (baseline {})",
+                        reg.rule.name(),
+                        reg.current,
+                        reg.committed,
+                        reg.allows.0,
+                        reg.allows.1
+                    );
+                    for f in &reg.new_sites {
+                        eprintln!("  {}:{}: {}", f.file, f.line, f.excerpt);
+                    }
+                    eprintln!(
+                        "  fix the new sites or see `lr-lint --explain {}`",
+                        reg.rule.name().to_lowercase()
+                    );
+                }
+                Ok(ExitCode::from(1))
+            }
+        }
+    }
+}
+
+fn print_totals(scan: &WorkspaceScan) {
+    let b = scan.to_baseline();
+    for rule in ALL_RULES {
+        let counts = b.rule(rule);
+        println!(
+            "  {}: {} findings, {} allows — {}",
+            rule.name(),
+            counts.total(),
+            counts.allows,
+            rule.summary()
+        );
+    }
+}

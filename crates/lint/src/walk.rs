@@ -1,0 +1,81 @@
+//! Workspace file discovery.
+//!
+//! Collects every `.rs` file under the workspace root, skipping build
+//! output (`target/`), vendored third-party shims (`vendor/` — not our
+//! code to ratchet), and VCS metadata (`.git/`). Paths are returned
+//! workspace-relative with forward slashes and sorted, so scans — and
+//! therefore baselines — are deterministic across platforms and
+//! filesystem iteration orders.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, at any depth.
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", ".git"];
+
+/// A discovered source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (the lint/baseline key).
+    pub rel: String,
+    /// Absolute (or root-joined) path for reading.
+    pub abs: PathBuf,
+}
+
+/// Collects all lintable `.rs` files under `root`, sorted by relative path.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    descend(root, String::new(), &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn descend(dir: &Path, rel_prefix: String, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = match entry.file_name().into_string() {
+            Ok(n) => n,
+            // Non-UTF-8 names can't be baseline keys; nothing in this
+            // workspace has one, so skipping is safe.
+            Err(_) => continue,
+        };
+        let rel = if rel_prefix.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel_prefix}/{name}")
+        };
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                descend(&path, rel, out)?;
+            }
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(SourceFile { rel, abs: path });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_and_skips_target_and_vendor() {
+        // The crate's own workspace root is two levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let files = collect_rs_files(root).expect("walk workspace");
+        assert!(files.iter().any(|f| f.rel == "crates/lint/src/walk.rs"));
+        assert!(files.iter().any(|f| f.rel.starts_with("crates/core/")));
+        assert!(!files.iter().any(|f| f.rel.starts_with("target/")));
+        assert!(!files.iter().any(|f| f.rel.starts_with("vendor/")));
+        let mut sorted = files.clone();
+        sorted.sort_by(|a, b| a.rel.cmp(&b.rel));
+        assert_eq!(files, sorted, "walk output must be sorted");
+    }
+}

@@ -165,6 +165,7 @@ impl Dense {
         input.matmul_into(&self.weights, out);
         out.add_row_broadcast_in_place(&self.bias);
         self.activation.apply_in_place(out);
+        crate::debug_assert_finite!(&*out, "dense layer forward");
     }
 
     /// Backward pass. Takes `dL/dy` and returns `dL/dx`, storing parameter

@@ -34,6 +34,7 @@ pub mod linreg;
 pub mod loss;
 pub mod mlp;
 pub mod optim;
+pub mod sanitize;
 pub mod tensor;
 
 pub use mlp::{Mlp, MlpConfig};

@@ -9,7 +9,9 @@ use crate::tensor::Matrix;
 /// Panics if the shapes differ.
 pub fn mse(pred: &Matrix, target: &Matrix) -> f32 {
     let d = pred.sub(target);
-    d.as_slice().iter().map(|v| v * v).sum::<f32>() / d.as_slice().len() as f32
+    let loss = d.as_slice().iter().map(|v| v * v).sum::<f32>() / d.as_slice().len() as f32;
+    crate::debug_assert_finite!(loss, "mse loss");
+    loss
 }
 
 /// Gradient of [`mse`] with respect to `pred`: `2 (pred - target) / n`.
@@ -33,7 +35,9 @@ pub fn mse_gradient_batch_mean(pred: &Matrix, target: &Matrix) -> Matrix {
 /// Mean absolute error — used only for reporting, never for training.
 pub fn mae(pred: &Matrix, target: &Matrix) -> f32 {
     let d = pred.sub(target);
-    d.as_slice().iter().map(|v| v.abs()).sum::<f32>() / d.as_slice().len() as f32
+    let loss = d.as_slice().iter().map(|v| v.abs()).sum::<f32>() / d.as_slice().len() as f32;
+    crate::debug_assert_finite!(loss, "mae loss");
+    loss
 }
 
 #[cfg(test)]

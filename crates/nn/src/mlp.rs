@@ -173,6 +173,7 @@ impl Mlp {
             x = layer.forward(&x);
         }
         let batch_loss = loss::mse(&x, targets);
+        crate::debug_assert_finite!(batch_loss, "train_batch loss");
         let mut grad = loss::mse_gradient_batch_mean(&x, targets);
         if opt.grad_clip.is_finite() {
             let norm = grad.frobenius_norm();

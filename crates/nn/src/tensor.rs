@@ -178,6 +178,7 @@ impl Matrix {
         );
         out.resize(self.rows, rhs.cols);
         self.matmul_rows_into(rhs, 0, self.rows, &mut out.data);
+        crate::debug_assert_finite!(&*out, "matmul");
     }
 
     /// Reference (i, j, k) matmul kept for kernel cross-checking. Its
@@ -203,6 +204,7 @@ impl Matrix {
                 out.data[i * rhs.cols + j] = acc;
             }
         }
+        crate::debug_assert_finite!(out, "matmul_naive");
         out
     }
 
@@ -235,7 +237,9 @@ impl Matrix {
         for part in parts {
             data.extend_from_slice(&part);
         }
-        Matrix::from_vec(self.rows, rhs.cols, data)
+        let out = Matrix::from_vec(self.rows, rhs.cols, data);
+        crate::debug_assert_finite!(out, "matmul_with_pool");
+        out
     }
 
     /// Blocked kernel for output rows `row_lo..row_hi`; `out` holds
@@ -289,6 +293,7 @@ impl Matrix {
                 out[(i, j)] = acc;
             }
         }
+        crate::debug_assert_finite!(out, "matmul_transposed");
         out
     }
 
@@ -313,6 +318,7 @@ impl Matrix {
                 }
             }
         }
+        crate::debug_assert_finite!(out, "transposed_matmul");
         out
     }
 
@@ -459,7 +465,9 @@ impl Matrix {
             .zip(rhs.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        let out = Matrix::from_vec(self.rows, self.cols, data);
+        crate::debug_assert_finite!(out, "elementwise zip");
+        out
     }
 }
 

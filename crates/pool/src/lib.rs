@@ -61,13 +61,17 @@ impl Default for Pool {
 /// when set to a positive integer, otherwise the host's available
 /// parallelism (1 when that cannot be determined).
 pub fn threads_from_env() -> usize {
-    match std::env::var(THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => available_threads(),
-        },
-        Err(_) => available_threads(),
-    }
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(available_threads)
+}
+
+/// The pure parsing core of [`threads_from_env`]: `Some(n)` for a
+/// positive integer (surrounding whitespace tolerated), `None` for an
+/// unset, empty, zero, or unparsable value — callers fall back to the
+/// host's available parallelism.
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
 fn available_threads() -> usize {
@@ -339,5 +343,67 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn panics_propagate_out_of_par_map_init() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).par_map_init(&items, Vec::<u32>::new, |_, _, &x| {
+                if x == 17 {
+                    panic!("boom in worker with state");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+        // The serial (threads == 1) path must propagate too.
+        let serial = std::panic::catch_unwind(|| {
+            Pool::new(1).par_map_init(&items, Vec::<u32>::new, |_, _, &x| {
+                if x == 17 {
+                    panic!("boom serial");
+                }
+                x
+            })
+        });
+        assert!(serial.is_err());
+    }
+
+    #[test]
+    fn panics_propagate_out_of_par_map_mut() {
+        let mut items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(move || {
+            Pool::new(4).par_map_mut(&mut items, |_, x| {
+                if *x == 3 {
+                    panic!("boom mut");
+                }
+                *x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn init_and_mut_variants_accept_empty_input() {
+        let pool = Pool::new(8);
+        let empty: Vec<u32> = Vec::new();
+        let out = pool.par_map_init(&empty, || 0u32, |_, _, &x| x);
+        assert!(out.is_empty());
+        let mut none: Vec<u32> = Vec::new();
+        assert!(pool.par_map_mut(&mut none, |_, x| *x).is_empty());
+    }
+
+    #[test]
+    fn thread_env_parsing_falls_back_on_bad_values() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 12\n")), Some(12));
+        // Zero, garbage, empty, negative, and unset all defer to the host.
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("-2")), None);
+        assert_eq!(parse_threads(None), None);
+        // And the fallback itself is always a usable worker count.
+        assert!(threads_from_env() >= 1);
     }
 }

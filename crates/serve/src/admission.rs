@@ -23,6 +23,13 @@ pub enum AdmissionDecision {
     Rejected,
 }
 
+/// Floor and typical demand of one SLO-feasible branch set.
+#[derive(Debug, Clone, Copy)]
+struct DemandFractions {
+    floor: f64,
+    typical: f64,
+}
+
 /// SLO-aware admission controller for one shared device.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
@@ -67,15 +74,33 @@ impl AdmissionController {
         profile: &DeviceProfile,
         slo_ms: f64,
     ) -> Option<f64> {
+        Self::demand_fractions(trained, profile, slo_ms).map(|d| d.floor)
+    }
+
+    /// Floor and typical demand of the SLO-feasible branch set, computed
+    /// in one pass. `None` iff the feasible set is empty, so callers get
+    /// both-or-neither by construction.
+    fn demand_fractions(
+        trained: &TrainedScheduler,
+        profile: &DeviceProfile,
+        slo_ms: f64,
+    ) -> Option<DemandFractions> {
         assert!(slo_ms > 0.0 && slo_ms.is_finite(), "bad SLO {slo_ms}");
-        trained
-            .catalog
-            .iter()
-            .zip(&trained.det_inference_ms)
-            .map(|(b, det_ms)| det_ms * profile.gpu_speed_factor / b.gof_size.max(1) as f64)
-            .filter(|&gpu_per_frame| gpu_per_frame <= slo_ms)
-            .map(|gpu_per_frame| gpu_per_frame / slo_ms)
-            .min_by(f64::total_cmp)
+        let mut min = f64::INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (b, det_ms) in trained.catalog.iter().zip(&trained.det_inference_ms) {
+            let gpu_per_frame = det_ms * profile.gpu_speed_factor / b.gof_size.max(1) as f64;
+            if gpu_per_frame <= slo_ms {
+                min = min.min(gpu_per_frame);
+                sum += gpu_per_frame;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| DemandFractions {
+            floor: min / slo_ms,
+            typical: sum / n as f64 / slo_ms,
+        })
     }
 
     /// The *typical* GPU demand fraction of a stream with the given
@@ -89,18 +114,7 @@ impl AdmissionController {
         profile: &DeviceProfile,
         slo_ms: f64,
     ) -> Option<f64> {
-        assert!(slo_ms > 0.0 && slo_ms.is_finite(), "bad SLO {slo_ms}");
-        let feasible: Vec<f64> = trained
-            .catalog
-            .iter()
-            .zip(&trained.det_inference_ms)
-            .map(|(b, det_ms)| det_ms * profile.gpu_speed_factor / b.gof_size.max(1) as f64)
-            .filter(|&gpu_per_frame| gpu_per_frame <= slo_ms)
-            .collect();
-        if feasible.is_empty() {
-            return None;
-        }
-        Some(feasible.iter().sum::<f64>() / feasible.len() as f64 / slo_ms)
+        Self::demand_fractions(trained, profile, slo_ms).map(|d| d.typical)
     }
 
     /// Offers a stream of the given class. Books capacity and returns
@@ -111,12 +125,11 @@ impl AdmissionController {
         profile: &DeviceProfile,
         class: SloClass,
     ) -> AdmissionDecision {
-        let Some(floor) = Self::floor_demand_fraction(trained, profile, class.slo_ms()) else {
+        let Some(demand) = Self::demand_fractions(trained, profile, class.slo_ms()) else {
             return AdmissionDecision::Rejected;
         };
-        let typical = Self::typical_demand_fraction(trained, profile, class.slo_ms())
-            .expect("non-empty whenever a floor exists")
-            .min(1.0);
+        let floor = demand.floor;
+        let typical = demand.typical.min(1.0);
         if self.committed + typical <= self.capacity_fraction {
             self.committed += typical;
             AdmissionDecision::Admitted

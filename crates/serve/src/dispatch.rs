@@ -268,10 +268,7 @@ pub fn serve(
             let slowdown = shared.slowdown_for(s.slot, start);
             s.device.set_external_gpu_slowdown(slowdown);
             s.pipeline.observe_contention(slowdown);
-            let step = s
-                .pipeline
-                .step_gof(&mut s.svc, &mut s.device)
-                .expect("unfinished stream must step");
+            let step = s.pipeline.step_gof(&mut s.svc, &mut s.device);
             (start, s.device.now_ms(), slowdown, step)
         });
 
@@ -281,6 +278,11 @@ pub fn serve(
         // the degraded mode mid-run.
         for (s, (start, end, slowdown, step)) in round.iter_mut().zip(outcomes) {
             shared.clear_reservation(s.slot);
+            // Round members are filtered on !finished(), so step_gof
+            // returns Some; a None (impossible by construction) would
+            // mean the stream made no progress — skip its bookkeeping
+            // rather than panic inside the serving loop.
+            let Some(step) = step else { continue };
             shared.record(s.slot, start, end, step.gpu_demand_ms);
             s.last_gof = Some((end - start, step.gpu_demand_ms));
             s.slowdown_sum += slowdown;

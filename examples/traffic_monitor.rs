@@ -11,7 +11,7 @@
 //! cargo run --release --example traffic_monitor
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use litereconfig::offline::{profile_videos, OfflineConfig};
@@ -48,7 +48,7 @@ fn main() {
     // Show the regime composition of the feeds.
     println!("=== traffic feeds: content regimes over time ===");
     for v in &feed_videos {
-        let mut per_regime: HashMap<usize, usize> = HashMap::new();
+        let mut per_regime: BTreeMap<usize, usize> = BTreeMap::new();
         for f in &v.frames {
             *per_regime.entry(f.regime.index()).or_insert(0) += 1;
         }
