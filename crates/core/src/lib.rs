@@ -48,6 +48,6 @@ pub mod scheduler;
 pub mod trainer;
 
 pub use featsvc::FeatureService;
-pub use pipeline::{GofStep, RunConfig, RunResult, StreamPipeline};
+pub use pipeline::{DegradeEvent, DegradeKind, GofStep, RunConfig, RunResult, StreamPipeline};
 pub use scheduler::{Policy, Scheduler, TrainedScheduler};
 pub use trainer::{train_scheduler, TrainConfig};

@@ -45,6 +45,14 @@ pub struct RunConfig {
     /// Whether the scheduler adapts its latency model online (contention
     /// awareness). SSD+/YOLO+ are not contention-adaptive.
     pub contention_adaptive: bool,
+    /// Fault-injection schedule for the run's device. `None` (the
+    /// default) runs clean and is byte-identical to the pre-fault
+    /// pipeline.
+    pub fault: Option<lr_device::FaultConfig>,
+    /// Per-GoF deadline watchdog as a multiple of the SLO: a GoF whose
+    /// kernel time exceeds `factor * slo_ms * gof_frames` coasts its
+    /// remaining frames. `None` disables the watchdog.
+    pub gof_deadline_factor: Option<f64>,
 }
 
 impl RunConfig {
@@ -60,8 +68,39 @@ impl RunConfig {
             overhead_known_to_scheduler: false,
             kernel_latency_factor: 1.0,
             contention_adaptive: true,
+            fault: None,
+            gof_deadline_factor: None,
         }
     }
+}
+
+/// Which rung of the graceful-degradation ladder fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeKind {
+    /// A transient detector fault triggered the bounded retry on the
+    /// cheapest branch.
+    CheaperRetry,
+    /// Detection was abandoned for the GoF: tracker-only on the last
+    /// known detections (or coasting on a detector-only branch).
+    TrackerOnlyGof,
+    /// The per-GoF deadline watchdog aborted the GoF mid-way.
+    DeadlineAbort,
+    /// The scheduler's accuracy predictions were unusable and the branch
+    /// was chosen on cost alone.
+    CostOnlyDecision,
+}
+
+/// One recorded degradation event.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradeEvent {
+    /// Video within the playlist.
+    pub video_idx: usize,
+    /// First frame of the affected GoF.
+    pub frame: usize,
+    /// Which rung fired.
+    pub kind: DegradeKind,
+    /// Virtual milliseconds burned by failed ops leading to this event.
+    pub wasted_ms: f64,
 }
 
 /// Where the virtual time of a run went.
@@ -129,6 +168,13 @@ pub struct RunResult {
     pub decisions: usize,
     /// Decisions where no branch satisfied the constraint.
     pub infeasible_decisions: usize,
+    /// Every degradation the fallback ladder recorded, in GoF order.
+    pub degrade_events: Vec<DegradeEvent>,
+    /// Transient device faults absorbed over the run (scheduler ops,
+    /// detection frames, mid-GoF detections).
+    pub faults: usize,
+    /// GoFs that ran degraded (any ladder rung fired).
+    pub degraded_gofs: usize,
 }
 
 impl RunResult {
@@ -163,6 +209,11 @@ pub struct GofStep {
     /// time excluding contention stretch (what a serving layer feeds its
     /// occupancy measurement).
     pub gpu_demand_ms: f64,
+    /// Transient device faults absorbed during this GoF (scheduler +
+    /// kernel ops).
+    pub faults: usize,
+    /// True when any fallback-ladder rung fired for this GoF.
+    pub degraded: bool,
 }
 
 /// One stream's online pipeline, steppable one GoF at a time.
@@ -178,11 +229,15 @@ pub struct StreamPipeline {
     mbek: lr_kernels::Mbek,
     sampler: OnlineSwitchSampler,
     fixed_overhead_ms_per_frame: f64,
+    gof_deadline_factor: Option<f64>,
 
     // Position.
     video_idx: usize,
     t: usize,
     boxes: Vec<BBox>,
+    /// Last known-good detector output: the seed of a tracker-only
+    /// fallback GoF after a detection failure.
+    last_detections: Vec<lr_kernels::Detection>,
 
     // Accounting.
     acc: MapAccumulator,
@@ -193,6 +248,9 @@ pub struct StreamPipeline {
     switches: Vec<SwitchEvent>,
     decisions: usize,
     infeasible: usize,
+    degrade_events: Vec<DegradeEvent>,
+    faults: usize,
+    degraded_gofs: usize,
 }
 
 impl StreamPipeline {
@@ -230,9 +288,11 @@ impl StreamPipeline {
             mbek,
             sampler,
             fixed_overhead_ms_per_frame: cfg.fixed_overhead_ms_per_frame,
+            gof_deadline_factor: cfg.gof_deadline_factor,
             video_idx: 0,
             t: 0,
             boxes: Vec::new(),
+            last_detections: Vec::new(),
             acc: MapAccumulator::new(),
             latency: LatencyStats::new(),
             breakdown: Breakdown::default(),
@@ -241,6 +301,9 @@ impl StreamPipeline {
             switches: Vec::new(),
             decisions: 0,
             infeasible: 0,
+            degrade_events: Vec::new(),
+            faults: 0,
+            degraded_gofs: 0,
         }
     }
 
@@ -300,7 +363,11 @@ impl StreamPipeline {
             return None;
         }
         let video_idx = self.video_idx;
-        let video = &self.videos[video_idx];
+        // Detach the playlist for the step so `frames` (borrowed from it)
+        // can coexist with `&mut self` calls like the retry's branch
+        // switch; restored before returning.
+        let videos = std::mem::take(&mut self.videos);
+        let video = &videos[video_idx];
         let t = self.t;
         let demand_before = device.gpu_demand_ms();
 
@@ -319,26 +386,7 @@ impl StreamPipeline {
         let need_switch = self.scheduler.current_branch() != Some(decision.branch_idx)
             || self.mbek.branch().is_none();
         if need_switch {
-            let src_idx = self.scheduler.current_branch();
-            let src_ms = src_idx.map_or(80.0, |i| self.trained.det_inference_ms[i]);
-            let src_key = src_idx.map_or(0, |i| self.trained.catalog[i].key());
-            let cost = self.sampler.sample_ms(
-                src_ms,
-                self.trained.det_inference_ms[decision.branch_idx],
-                dst_key,
-                device.rng(),
-            );
-            // The switch occupies the GPU (model load + warmup).
-            switch_ms =
-                device.charge_fixed_on(OpUnit::Gpu, cost * device.profile().gpu_speed_factor);
-            self.switches.push(SwitchEvent {
-                src_key,
-                dst_key,
-                cost_ms: cost,
-            });
-            self.mbek
-                .set_branch(self.trained.catalog[decision.branch_idx]);
-            self.scheduler.commit_branch(decision.branch_idx);
+            switch_ms = self.switch_to(decision.branch_idx, device);
         }
         self.branches_used.insert(dst_key);
         *self.branch_decisions.entry(dst_key).or_insert(0) += 1;
@@ -347,11 +395,86 @@ impl StreamPipeline {
         // what the scheduler saw.
         let light = svc.light(video, t, &self.boxes);
 
-        // Execute the GoF.
+        // Execute the GoF, descending the fallback ladder on faults.
         let branch = self.trained.catalog[decision.branch_idx];
         let end = (t + branch.gof_size.max(1) as usize).min(video.len());
         let frames = &video.frames[t..end];
-        let result = self.mbek.run_gof(frames, device);
+        let opts = lr_kernels::GofOptions {
+            deadline_ms: self
+                .gof_deadline_factor
+                .map(|f| f * self.scheduler.slo_ms() * frames.len() as f64),
+        };
+        let mut gof_faults = decision.faults;
+        let mut wasted_ms = 0.0;
+        let mut fallback_gof = false;
+        let mut exec_branch_idx = decision.branch_idx;
+        if decision.cost_only {
+            self.degrade_events.push(DegradeEvent {
+                video_idx,
+                frame: t,
+                kind: DegradeKind::CostOnlyDecision,
+                wasted_ms: 0.0,
+            });
+        }
+        let result = match self.mbek.try_run_gof(frames, device, &opts) {
+            Ok(r) => r,
+            Err(lr_kernels::GofError::DetectorFault { wasted_ms: w }) => {
+                gof_faults += 1;
+                wasted_ms += w;
+                // Rung 1: one bounded retry on the cheapest branch — a
+                // shorter detector op, less exposure to the fault episode
+                // — unless we are already on it.
+                let cheapest = Self::cheapest_catalog_branch(&self.trained.det_inference_ms);
+                let mut retried = None;
+                if cheapest != exec_branch_idx {
+                    switch_ms += self.switch_to(cheapest, device);
+                    exec_branch_idx = cheapest;
+                    self.degrade_events.push(DegradeEvent {
+                        video_idx,
+                        frame: t,
+                        kind: DegradeKind::CheaperRetry,
+                        wasted_ms: w,
+                    });
+                    match self.mbek.try_run_gof(frames, device, &opts) {
+                        Ok(r) => retried = Some(r),
+                        Err(lr_kernels::GofError::DetectorFault { wasted_ms: w2 }) => {
+                            gof_faults += 1;
+                            wasted_ms += w2;
+                        }
+                        Err(lr_kernels::GofError::NoBranch) => {}
+                    }
+                }
+                match retried {
+                    Some(r) => r,
+                    None => {
+                        // Rung 2: give up on detection for this GoF —
+                        // tracker-only on the last known detections.
+                        fallback_gof = true;
+                        self.degrade_events.push(DegradeEvent {
+                            video_idx,
+                            frame: t,
+                            kind: DegradeKind::TrackerOnlyGof,
+                            wasted_ms,
+                        });
+                        let seed = self.last_detections.clone();
+                        match self.mbek.run_gof_fallback(frames, device, &seed) {
+                            Ok(r) => r,
+                            Err(_) => unreachable!("branch configured above"),
+                        }
+                    }
+                }
+            }
+            Err(lr_kernels::GofError::NoBranch) => unreachable!("branch configured above"),
+        };
+        gof_faults += result.absorbed_faults;
+        if result.deadline_aborted {
+            self.degrade_events.push(DegradeEvent {
+                video_idx,
+                frame: t,
+                kind: DegradeKind::DeadlineAbort,
+                wasted_ms: 0.0,
+            });
+        }
 
         // Fixed pipeline overhead per frame.
         let mut overhead_ms = 0.0;
@@ -361,53 +484,68 @@ impl StreamPipeline {
             }
         }
 
-        // Accounting: GoF-amortized per-frame latency samples.
-        let gof_total = sched_ms + switch_ms + result.kernel_ms() + overhead_ms;
+        // Accounting: GoF-amortized per-frame latency samples. Wasted
+        // milliseconds of failed detector ops are real device time and
+        // count toward both the samples and the detector breakdown.
+        let gof_total = sched_ms + switch_ms + result.kernel_ms() + wasted_ms + overhead_ms;
         let per_frame = gof_total / frames.len() as f64;
         for (truth, dets) in frames.iter().zip(result.per_frame.iter()) {
             self.acc
                 .add_frame(&to_gt_boxes(truth), &to_pred_boxes(dets));
             self.latency.record(per_frame);
         }
-        self.breakdown.detector_ms += result.detector_ms;
+        self.breakdown.detector_ms += result.detector_ms + wasted_ms;
         self.breakdown.tracker_ms += result.tracker_ms;
         self.breakdown.scheduler_ms += sched_ms;
         self.breakdown.switch_ms += switch_ms;
         self.breakdown.overhead_ms += overhead_ms;
         self.breakdown.frames += frames.len();
+        let degraded =
+            gof_faults > 0 || decision.cost_only || fallback_gof || result.deadline_aborted;
+        if degraded {
+            self.degraded_gofs += 1;
+        }
+        self.faults += gof_faults;
 
         // Feed observations back to the scheduler.
         let n = frames.len() as f64;
         self.scheduler.observe_latency(
-            decision.branch_idx,
+            exec_branch_idx,
             &light,
             result.detector_ms / n,
             result.tracker_ms / n,
         );
-        self.scheduler
-            .record_detection(t, result.first_frame_output.proposal_logits.clone());
-        // The light features of the next decision come from the most
-        // recent *detector* output — matching the offline protocol,
-        // where they were collected from reference detections (tracked
-        // boxes under- and mis-count objects on weak branches, which
-        // would skew the models' input distribution).
-        self.boxes = result
-            .first_frame_output
-            .detections
-            .iter()
-            .map(|det| det.bbox)
-            .collect();
+        if !fallback_gof {
+            self.scheduler
+                .record_detection(t, result.first_frame_output.proposal_logits.clone());
+            // The light features of the next decision come from the most
+            // recent *detector* output — matching the offline protocol,
+            // where they were collected from reference detections (tracked
+            // boxes under- and mis-count objects on weak branches, which
+            // would skew the models' input distribution). A fallback GoF
+            // produced no detector output, so the previous byproducts,
+            // boxes, and fallback seed all stay.
+            self.last_detections = result.first_frame_output.detections.clone();
+            self.boxes = result
+                .first_frame_output
+                .detections
+                .iter()
+                .map(|det| det.bbox)
+                .collect();
+        }
 
         let frames_done = end - t;
         self.t = end;
-        if self.t >= self.videos[video_idx].len() {
+        if self.t >= videos[video_idx].len() {
             // Video boundary: detector byproducts must not leak into the
             // next video. Branch and latency corrections persist.
             self.video_idx += 1;
             self.t = 0;
             self.boxes.clear();
+            self.last_detections.clear();
             self.scheduler.reset_stream();
         }
+        self.videos = videos;
 
         Some(GofStep {
             video_idx,
@@ -416,7 +554,48 @@ impl StreamPipeline {
             gof_ms: gof_total,
             per_frame_ms: per_frame,
             gpu_demand_ms: device.gpu_demand_ms() - demand_before,
+            faults: gof_faults,
+            degraded,
         })
+    }
+
+    /// Switches the MBEK and scheduler to catalog branch `dst`, charging
+    /// the sampled switching cost to `device`. Returns the charged
+    /// milliseconds.
+    fn switch_to(&mut self, dst: usize, device: &mut DeviceSim) -> f64 {
+        let src_idx = self.scheduler.current_branch();
+        let src_ms = src_idx.map_or(80.0, |i| self.trained.det_inference_ms[i]);
+        let src_key = src_idx.map_or(0, |i| self.trained.catalog[i].key());
+        let dst_key = self.trained.catalog[dst].key();
+        let cost = self.sampler.sample_ms(
+            src_ms,
+            self.trained.det_inference_ms[dst],
+            dst_key,
+            device.rng(),
+        );
+        // The switch occupies the GPU (model load + warmup).
+        let ms = device.charge_fixed_on(OpUnit::Gpu, cost * device.profile().gpu_speed_factor);
+        self.switches.push(SwitchEvent {
+            src_key,
+            dst_key,
+            cost_ms: cost,
+        });
+        self.mbek.set_branch(self.trained.catalog[dst]);
+        self.scheduler.commit_branch(dst);
+        self.branches_used.insert(dst_key);
+        ms
+    }
+
+    /// Index of the catalog branch with the lightest steady-state
+    /// detector (total order over floats; 0 for an empty slice).
+    fn cheapest_catalog_branch(det_inference_ms: &[f64]) -> usize {
+        let mut best = 0usize;
+        for (i, v) in det_inference_ms.iter().enumerate().skip(1) {
+            if v.total_cmp(&det_inference_ms[best]) == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        best
     }
 
     /// Consumes the pipeline and produces the run result.
@@ -430,6 +609,9 @@ impl StreamPipeline {
             switches: self.switches,
             decisions: self.decisions,
             infeasible_decisions: self.infeasible,
+            degrade_events: self.degrade_events,
+            faults: self.faults,
+            degraded_gofs: self.degraded_gofs,
         }
     }
 }
@@ -444,6 +626,9 @@ pub fn run_adaptive(
     svc: &mut FeatureService,
 ) -> RunResult {
     let mut device = DeviceSim::new(cfg.device, cfg.contention_pct, cfg.seed);
+    if let Some(fault) = cfg.fault {
+        device.set_fault_plan(Some(lr_device::FaultPlan::generate(fault)));
+    }
     let mut pipeline = StreamPipeline::new(videos.to_vec(), trained, policy, cfg);
     while pipeline.step_gof(svc, &mut device).is_some() {}
     pipeline.into_result()
@@ -626,6 +811,48 @@ mod tests {
     }
 
     #[test]
+    fn faulted_run_completes_without_panic_and_records_degradation() {
+        let (trained, videos, mut svc) = setup();
+        let mut cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, 100.0, 9);
+        cfg.fault = Some(lr_device::FaultConfig {
+            transient_rate: 0.25,
+            ..lr_device::FaultConfig::moderate(5)
+        });
+        cfg.gof_deadline_factor = Some(4.0);
+        let r = run_adaptive(&videos, trained, Policy::MinCost, &cfg, &mut svc);
+        let total_frames: usize = videos.iter().map(Video::len).sum();
+        assert_eq!(r.breakdown.frames, total_frames, "every frame covered");
+        assert!(r.faults > 0, "a 25% transient rate must produce faults");
+        assert!(r.degraded_gofs > 0);
+        assert!(!r.degrade_events.is_empty());
+        assert!(r.map > 0.0, "degraded runs still produce detections");
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let (trained, videos, mut svc) = setup();
+        let mut cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, 100.0, 10);
+        cfg.fault = Some(lr_device::FaultConfig::moderate(7));
+        let a = run_adaptive(&videos, trained.clone(), Policy::MinCost, &cfg, &mut svc);
+        let b = run_adaptive(&videos, trained, Policy::MinCost, &cfg, &mut svc);
+        assert_eq!(a.map.to_bits(), b.map.to_bits());
+        assert_eq!(a.latency.p95().to_bits(), b.latency.p95().to_bits());
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.degraded_gofs, b.degraded_gofs);
+        assert_eq!(a.degrade_events.len(), b.degrade_events.len());
+    }
+
+    #[test]
+    fn clean_run_reports_no_degradation() {
+        let (trained, videos, mut svc) = setup();
+        let cfg = RunConfig::clean(DeviceKind::JetsonTx2, 0.0, 100.0, 11);
+        let r = run_adaptive(&videos, trained, Policy::MinCost, &cfg, &mut svc);
+        assert_eq!(r.faults, 0);
+        assert_eq!(r.degraded_gofs, 0);
+        assert!(r.degrade_events.is_empty());
+    }
+
+    #[test]
     fn zero_slo_edge_cases_are_guarded() {
         let b = Breakdown {
             frames: 10,
@@ -651,6 +878,9 @@ mod tests {
             switches: Vec::new(),
             decisions: 1,
             infeasible_decisions: 0,
+            degrade_events: Vec::new(),
+            faults: 0,
+            degraded_gofs: 0,
         };
         assert!(!r.meets_slo(0.0), "a zero SLO can never be met");
         assert!(!r.meets_slo(-1.0));

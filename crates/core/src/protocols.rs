@@ -137,6 +137,8 @@ impl AdaptiveProtocol {
             overhead_known_to_scheduler: self.fixed_overhead_ms() > 0.0,
             kernel_latency_factor: self.kernel_latency_factor(),
             contention_adaptive: self.contention_adaptive(),
+            fault: None,
+            gof_deadline_factor: None,
         }
     }
 
@@ -199,6 +201,9 @@ pub fn run_static_detector(
         switches: Vec::new(),
         decisions: 0,
         infeasible_decisions: 0,
+        degrade_events: Vec::new(),
+        faults: 0,
+        degraded_gofs: 0,
     }
 }
 
@@ -235,6 +240,9 @@ pub fn run_adascale_ms(videos: &[Video], device_kind: DeviceKind, seed: u64) -> 
         switches: Vec::new(),
         decisions: 0,
         infeasible_decisions: 0,
+        degrade_events: Vec::new(),
+        faults: 0,
+        degraded_gofs: 0,
     }
 }
 
@@ -275,6 +283,9 @@ pub fn run_heavy_model(
         switches: Vec::new(),
         decisions: 0,
         infeasible_decisions: 0,
+        degrade_events: Vec::new(),
+        faults: 0,
+        degraded_gofs: 0,
     })
 }
 

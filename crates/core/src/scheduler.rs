@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use lr_device::{DeviceSim, OpUnit, SwitchingCostModel};
+use lr_device::{DeviceSim, OpError, OpUnit, SwitchingCostModel};
 use lr_features::{FeatureKind, HEAVY_FEATURE_KINDS};
 use lr_kernels::{Branch, DetectorFamily};
 use lr_video::{BBox, Video};
@@ -83,6 +83,14 @@ pub struct Decision {
     /// False when no branch satisfied the constraint and the minimum-
     /// latency branch was used as a fallback.
     pub feasible: bool,
+    /// Transient scheduler-op faults absorbed while making this decision
+    /// (failed feature extraction/prediction ops; wasted time is included
+    /// in `scheduler_ms`).
+    pub faults: usize,
+    /// True when the accuracy predictions were unusable — the light
+    /// predict op faulted, or a prediction came back non-finite — and the
+    /// branch was chosen on predicted cost alone.
+    pub cost_only: bool,
 }
 
 /// Fixed CPU cost of solving the constrained optimization.
@@ -314,12 +322,23 @@ impl Scheduler {
         let budget = self.slo_ms * self.headroom;
         let n = self.trained.catalog.len();
         let mut sched_ms = 0.0;
+        let mut faults = 0usize;
+        let mut predict_faulted = false;
 
         // Step 1: light features + content-agnostic predictions.
         let light_cost = FeatureKind::Light.cost();
         if !free_run {
             sched_ms += device.charge(OpUnit::Cpu, light_cost.extract_ms);
-            sched_ms += device.charge(OpUnit::Gpu, light_cost.predict_ms);
+            match device.run_op(OpUnit::Gpu, light_cost.predict_ms) {
+                Ok(ms) => sched_ms += ms,
+                Err(OpError::Transient { wasted_ms }) => {
+                    // The accuracy-model query died: its predictions are
+                    // garbage. Fall through to a cost-only decision.
+                    sched_ms += wasted_ms;
+                    faults += 1;
+                    predict_faulted = true;
+                }
+            }
         }
         let light = svc.light(video, frame_idx, boxes);
         let a_light = self.trained.accuracy[&FeatureKind::Light].predict(&light, None);
@@ -354,7 +373,12 @@ impl Scheduler {
         for &kind in &selected {
             let cost = kind.cost();
             let value = if kind.from_detector() {
-                let frame = self.last_det_frame.expect("availability checked");
+                // `available()` gated selection on this, so `None` can
+                // only mean the caller reset the stream mid-decision:
+                // treat the feature as unavailable rather than panic.
+                let Some(frame) = self.last_det_frame else {
+                    continue;
+                };
                 let logits = self.last_logits.as_deref();
                 svc.extract_heavy(kind, video, frame, logits)
             } else {
@@ -372,8 +396,23 @@ impl Scheduler {
                 } else {
                     OpUnit::Cpu
                 };
-                sched_ms += device.charge(unit, extract_ms);
-                sched_ms += device.charge(OpUnit::Gpu, cost.predict_ms);
+                // Extract then predict; a transient fault on either op
+                // drops the feature (the ensemble just loses one vote).
+                let mut op_failed = false;
+                for (u, ms) in [(unit, extract_ms), (OpUnit::Gpu, cost.predict_ms)] {
+                    match device.run_op(u, ms) {
+                        Ok(charged) => sched_ms += charged,
+                        Err(OpError::Transient { wasted_ms }) => {
+                            sched_ms += wasted_ms;
+                            faults += 1;
+                            op_failed = true;
+                            break;
+                        }
+                    }
+                }
+                if op_failed {
+                    continue;
+                }
             }
             if let Some(model) = self.trained.accuracy.get(&kind) {
                 content_preds.push(model.predict(&light, Some(&feature)));
@@ -408,20 +447,30 @@ impl Scheduler {
         } else {
             self.feature_set_cost_ms(&used)
         };
-        let mut best: Option<(usize, f32)> = None;
-        for (b, &ab) in a_final.iter().enumerate().take(n) {
-            if fits(b, extra, self) && best.is_none_or(|(_, bp)| ab > bp) {
-                best = Some((b, ab));
+        let cost_only = predict_faulted || a_final.iter().any(|a| !a.is_finite());
+        let (branch_idx, feasible) = if cost_only {
+            // The accuracy side is unusable (faulted predict op or a
+            // non-finite prediction): fall back to cost-only selection —
+            // the cheapest branch that fits the constraint, or the
+            // cheapest overall when nothing fits.
+            match (0..n)
+                .filter(|&b| fits(b, extra, self))
+                .min_by(|&i, &j| kernel_pred[i].total_cmp(&kernel_pred[j]))
+            {
+                Some(b) => (b, true),
+                None => (Self::cheapest_branch(&kernel_pred), false),
             }
-        }
-        let (branch_idx, feasible) = match best {
-            Some((b, _)) => (b, true),
-            None => {
+        } else {
+            let mut best: Option<(usize, f32)> = None;
+            for (b, &ab) in a_final.iter().enumerate().take(n) {
+                if fits(b, extra, self) && best.is_none_or(|(_, bp)| ab > bp) {
+                    best = Some((b, ab));
+                }
+            }
+            match best {
+                Some((b, _)) => (b, true),
                 // Fallback: the cheapest branch.
-                let b = (0..n)
-                    .min_by(|&i, &j| kernel_pred[i].total_cmp(&kernel_pred[j]))
-                    .expect("non-empty catalog");
-                (b, false)
+                None => (Self::cheapest_branch(&kernel_pred), false),
             }
         };
 
@@ -431,7 +480,22 @@ impl Scheduler {
             scheduler_ms: sched_ms,
             predicted_kernel_ms: kernel_pred[branch_idx],
             feasible,
+            faults,
+            cost_only,
         }
+    }
+
+    /// Index of the branch with the lowest predicted kernel latency
+    /// (total order over floats; index 0 for an empty slice, which the
+    /// non-empty catalog invariant rules out).
+    fn cheapest_branch(kernel_pred: &[f64]) -> usize {
+        let mut best = 0usize;
+        for (i, v) in kernel_pred.iter().enumerate().skip(1) {
+            if v.total_cmp(&kernel_pred[best]) == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        best
     }
 
     /// True if a heavy feature can be recruited right now.
@@ -739,6 +803,45 @@ mod tests {
             s.observe_latency(0, &light, 100.0, 100.0);
         }
         assert_eq!(s.gpu_correction(), 1.0);
+    }
+
+    #[test]
+    fn faulted_predict_op_falls_back_to_cost_only() {
+        let t = trained();
+        let v = test_video();
+        let mut svc = FeatureService::new();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 8);
+        dev.set_fault_plan(Some(lr_device::FaultPlan::generate(
+            lr_device::FaultConfig {
+                transient_rate: 1.0,
+                stall_rate: 0.0,
+                ..lr_device::FaultConfig::moderate(21)
+            },
+        )));
+        let mut s = Scheduler::new(t, Policy::CostBenefit, 50.0);
+        let d = s.decide(&v, 0, &[], &mut svc, &mut dev);
+        assert!(d.cost_only, "faulted predict op must force cost-only");
+        assert!(d.faults >= 1);
+        assert!(d.scheduler_ms > 0.0, "wasted op time must be accounted");
+    }
+
+    #[test]
+    fn clean_device_decision_reports_no_faults() {
+        let t = trained();
+        let v = test_video();
+        let mut svc = FeatureService::new();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 9);
+        let mut s = Scheduler::new(t, Policy::CostBenefit, 50.0);
+        let d = s.decide(&v, 0, &[], &mut svc, &mut dev);
+        assert_eq!(d.faults, 0);
+        assert!(!d.cost_only);
+    }
+
+    #[test]
+    fn cheapest_branch_ignores_nan_predictions() {
+        assert_eq!(Scheduler::cheapest_branch(&[3.0, f64::NAN, 1.0, 2.0]), 2);
+        assert_eq!(Scheduler::cheapest_branch(&[f64::NAN, 5.0]), 1);
+        assert_eq!(Scheduler::cheapest_branch(&[4.0]), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::clock::VirtualClock;
 use crate::contention::ContentionGenerator;
+use crate::fault::{FaultEvent, FaultPlan, OpError};
 use crate::noise::LatencyNoise;
 use crate::profile::{DeviceKind, DeviceProfile};
 
@@ -78,6 +79,14 @@ pub struct DeviceSim {
     rng: StdRng,
     gpu_demand_ms: f64,
     cpu_busy_ms: f64,
+    /// Deterministic fault schedule consulted by [`DeviceSim::run_op`].
+    /// `None` (the default) means no faults: `run_op` degenerates to
+    /// [`DeviceSim::charge`] with byte-identical results — the plan
+    /// draws from its own counter hash, never from `rng`, so attaching
+    /// or removing it cannot perturb the latency-noise stream.
+    fault_plan: Option<FaultPlan>,
+    faults_injected: usize,
+    stalls_injected: usize,
 }
 
 impl DeviceSim {
@@ -99,6 +108,9 @@ impl DeviceSim {
             rng: StdRng::seed_from_u64(seed ^ 0x0D3B_1CE5),
             gpu_demand_ms: 0.0,
             cpu_busy_ms: 0.0,
+            fault_plan: None,
+            faults_injected: 0,
+            stalls_injected: 0,
         })
     }
 
@@ -117,6 +129,34 @@ impl DeviceSim {
     pub fn with_noise(mut self, noise: LatencyNoise) -> Self {
         self.noise = noise;
         self
+    }
+
+    /// Attaches a deterministic fault schedule; [`DeviceSim::run_op`]
+    /// consults it for every GPU op.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(Some(plan));
+        self
+    }
+
+    /// Installs or removes the fault schedule mid-run.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Transient op failures injected so far.
+    pub fn faults_injected(&self) -> usize {
+        self.faults_injected
+    }
+
+    /// Stall spikes injected so far (absorbed: callers only saw a slow
+    /// op).
+    pub fn stalls_injected(&self) -> usize {
+        self.stalls_injected
     }
 
     /// The device profile.
@@ -229,6 +269,22 @@ impl DeviceSim {
     ///
     /// Panics if `base_tx2_ms` is negative or non-finite.
     pub fn charge(&mut self, unit: OpUnit, base_tx2_ms: f64) -> f64 {
+        self.charge_inner(unit, base_tx2_ms, 1.0, 1.0)
+    }
+
+    /// The shared charging path: samples contention and noise (in that
+    /// order, so `run_op` with an idle fault plan consumes exactly the
+    /// RNG draws `charge` does), stretches *demand* by `demand_factor`
+    /// (throttle/stall episodes: the silicon genuinely works longer) and
+    /// truncates the charge to `completed` of the op (a transiently
+    /// failed op burns only its waste fraction).
+    fn charge_inner(
+        &mut self,
+        unit: OpUnit,
+        base_tx2_ms: f64,
+        demand_factor: f64,
+        completed: f64,
+    ) -> f64 {
         assert!(
             base_tx2_ms.is_finite() && base_tx2_ms >= 0.0,
             "invalid base latency: {base_tx2_ms}"
@@ -242,7 +298,7 @@ impl DeviceSim {
             OpUnit::Cpu => 1.0,
         };
         let noise = self.noise.sample(&mut self.rng);
-        let demand = base_tx2_ms * device_factor * noise;
+        let demand = base_tx2_ms * device_factor * noise * demand_factor * completed;
         let ms = demand * contention_factor;
         match unit {
             OpUnit::Gpu => self.gpu_demand_ms += demand,
@@ -250,6 +306,41 @@ impl DeviceSim {
         }
         self.clock.advance(ms);
         ms
+    }
+
+    /// Runs an op under the installed fault schedule: charges like
+    /// [`DeviceSim::charge`] and returns the charged milliseconds, or a
+    /// typed [`OpError`] when the plan injects a transient failure (the
+    /// wasted time is already on the clock). Without a plan — and for
+    /// CPU ops, which the GPU-side fault model never touches — this is
+    /// exactly `charge`, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_tx2_ms` is negative or non-finite.
+    pub fn run_op(&mut self, unit: OpUnit, base_tx2_ms: f64) -> Result<f64, OpError> {
+        let Some(plan) = &mut self.fault_plan else {
+            return Ok(self.charge(unit, base_tx2_ms));
+        };
+        if unit == OpUnit::Cpu {
+            return Ok(self.charge(unit, base_tx2_ms));
+        }
+        let throttle = plan.throttle_factor_at(self.clock.now_ms());
+        let event = plan.next_gpu_event();
+        let cfg = *plan.config();
+        match event {
+            FaultEvent::None => Ok(self.charge_inner(unit, base_tx2_ms, throttle, 1.0)),
+            FaultEvent::Stall => {
+                self.stalls_injected += 1;
+                Ok(self.charge_inner(unit, base_tx2_ms, throttle * cfg.stall_factor, 1.0))
+            }
+            FaultEvent::Transient => {
+                self.faults_injected += 1;
+                let wasted_ms =
+                    self.charge_inner(unit, base_tx2_ms, throttle, cfg.failure_waste_fraction);
+                Err(OpError::Transient { wasted_ms })
+            }
+        }
     }
 
     /// Advances the clock by exactly `ms` (no device, contention, or
@@ -419,6 +510,97 @@ mod tests {
         assert!((dev.expected_ms(OpUnit::Gpu, 10.0) - 30.0).abs() < 1e-9);
         dev.clear_external_gpu_slowdown();
         assert_eq!(dev.charge(OpUnit::Gpu, 10.0), 10.0);
+    }
+
+    #[test]
+    fn run_op_without_plan_is_charge_bit_for_bit() {
+        let mut a = DeviceSim::new(DeviceKind::JetsonTx2, 30.0, 11);
+        let mut b = DeviceSim::new(DeviceKind::JetsonTx2, 30.0, 11);
+        for i in 0..200 {
+            let unit = if i % 3 == 0 { OpUnit::Cpu } else { OpUnit::Gpu };
+            let x = a.charge(unit, 12.0);
+            let y = b.run_op(unit, 12.0).expect("no plan, no faults");
+            assert_eq!(x.to_bits(), y.to_bits(), "op {i}");
+        }
+        assert_eq!(a.now_ms().to_bits(), b.now_ms().to_bits());
+        assert_eq!(b.faults_injected(), 0);
+    }
+
+    #[test]
+    fn idle_fault_plan_leaves_charges_bit_identical() {
+        // A plan with zero rates and a throttle horizon of one window far
+        // in the future must not perturb the noise stream.
+        let mut cfg = crate::fault::FaultConfig::moderate(9);
+        cfg.transient_rate = 0.0;
+        cfg.stall_rate = 0.0;
+        cfg.throttle_period_ms = 1e12;
+        cfg.horizon_ms = 1e12;
+        let mut a = DeviceSim::new(DeviceKind::JetsonTx2, 30.0, 12);
+        let mut b = DeviceSim::new(DeviceKind::JetsonTx2, 30.0, 12)
+            .with_fault_plan(crate::fault::FaultPlan::generate(cfg));
+        for _ in 0..200 {
+            let x = a.charge(OpUnit::Gpu, 12.0);
+            let y = b.run_op(OpUnit::Gpu, 12.0).expect("rates are zero");
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn certain_transient_rate_fails_every_gpu_op() {
+        let mut cfg = crate::fault::FaultConfig::moderate(5);
+        cfg.transient_rate = 1.0;
+        cfg.stall_rate = 0.0;
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 13)
+            .with_noise(LatencyNoise::none())
+            .with_fault_plan(crate::fault::FaultPlan::generate(cfg));
+        for _ in 0..10 {
+            let err = dev.run_op(OpUnit::Gpu, 10.0).unwrap_err();
+            let crate::fault::OpError::Transient { wasted_ms } = err;
+            // Half the op's latency is burned (waste fraction 0.5),
+            // possibly throttled.
+            assert!(wasted_ms >= 5.0 - 1e-9, "wasted {wasted_ms}");
+        }
+        assert_eq!(dev.faults_injected(), 10);
+        // CPU ops never fault.
+        assert!(dev.run_op(OpUnit::Cpu, 10.0).is_ok());
+        assert_eq!(dev.faults_injected(), 10);
+    }
+
+    #[test]
+    fn throttle_window_stretches_gpu_ops() {
+        let mut cfg = crate::fault::FaultConfig::moderate(6);
+        cfg.transient_rate = 0.0;
+        cfg.stall_rate = 0.0;
+        cfg.throttle_factor = 3.0;
+        let plan = crate::fault::FaultPlan::generate(cfg);
+        // Find the first throttle window by probing the factor.
+        let start = (0..4_000_000)
+            .map(|i| i as f64 * 0.25)
+            .find(|&t| plan.throttle_factor_at(t) > 1.0)
+            .expect("a window exists");
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 14)
+            .with_noise(LatencyNoise::none())
+            .with_fault_plan(plan);
+        let clean = dev.run_op(OpUnit::Gpu, 10.0).expect("zero rates");
+        assert_eq!(clean, 10.0);
+        dev.idle_until(start + 1.0);
+        let throttled = dev.run_op(OpUnit::Gpu, 10.0).expect("zero rates");
+        assert_eq!(throttled, 30.0, "3x throttle inside the window");
+    }
+
+    #[test]
+    fn faulted_device_is_deterministic() {
+        let run = || {
+            let cfg = crate::fault::FaultConfig::moderate(21);
+            let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 20.0, 15)
+                .with_fault_plan(crate::fault::FaultPlan::generate(cfg));
+            let mut out = Vec::new();
+            for _ in 0..300 {
+                out.push(dev.run_op(OpUnit::Gpu, 8.0).map_err(|e| format!("{e}")));
+            }
+            (out, dev.now_ms().to_bits(), dev.faults_injected())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod clock;
 pub mod contention;
 pub mod executor;
+pub mod fault;
 pub mod memory;
 pub mod noise;
 pub mod profile;
@@ -37,6 +38,7 @@ pub mod switching;
 pub use clock::VirtualClock;
 pub use contention::ContentionGenerator;
 pub use executor::{DeviceError, DeviceSim, OpUnit};
+pub use fault::{FaultConfig, FaultEvent, FaultPlan, OpError};
 pub use memory::MemoryModel;
 pub use profile::{DeviceKind, DeviceProfile};
 pub use switching::SwitchingCostModel;

@@ -1,12 +1,53 @@
 //! The GoF executor: tracking-by-detection over a Group-of-Frames.
 
-use lr_device::{DeviceSim, OpUnit};
+use lr_device::{DeviceSim, OpError, OpUnit};
 use lr_video::FrameTruth;
 
 use crate::branch::Branch;
 use crate::detector::{Detection, DetectorFamily, DetectorOutput, DetectorSim};
 use crate::latency;
 use crate::tracker::TrackerSim;
+
+/// Why a GoF could not be executed. The caller (the pipeline's fallback
+/// ladder) decides what absorbs it: a cheaper-branch retry, a
+/// tracker-only GoF on the last known detections, or — for `NoBranch` —
+/// nothing, because that is a programming error, not a fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GofError {
+    /// No branch configured.
+    NoBranch,
+    /// The GoF's detection frame failed transiently. `wasted_ms` of
+    /// virtual time is already charged to the device; no detections were
+    /// produced.
+    DetectorFault {
+        /// Virtual milliseconds burned by the failed detector op.
+        wasted_ms: f64,
+    },
+}
+
+impl std::fmt::Display for GofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GofError::NoBranch => write!(f, "no branch configured"),
+            GofError::DetectorFault { wasted_ms } => {
+                write!(f, "detection frame failed ({wasted_ms:.2} ms wasted)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GofError {}
+
+/// Execution options for one GoF.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GofOptions {
+    /// Watchdog deadline on the GoF's total kernel milliseconds: once
+    /// exceeded (a throttle episode, a stall spike), the remaining
+    /// frames coast on the last produced boxes instead of charging more
+    /// device time. `None` disables the watchdog (the clean-path
+    /// default, which keeps fault-free runs byte-identical).
+    pub deadline_ms: Option<f64>,
+}
 
 /// Everything produced by running one GoF under a branch.
 #[derive(Debug, Clone)]
@@ -21,6 +62,15 @@ pub struct GofResult {
     /// The first frame's raw detector output: the source of the ResNet50
     /// and CPoP features.
     pub first_frame_output: DetectorOutput,
+    /// Mid-GoF transient detector failures absorbed by reusing the
+    /// previous frame's detections (detector-only branches).
+    pub absorbed_faults: usize,
+    /// Frames that coasted on stale boxes after the watchdog fired (or,
+    /// in a tracker-only fallback on a detector-only branch, the whole
+    /// GoF).
+    pub coasted_frames: usize,
+    /// Whether the [`GofOptions::deadline_ms`] watchdog aborted the GoF.
+    pub deadline_aborted: bool,
 }
 
 impl GofResult {
@@ -99,19 +149,56 @@ impl Mbek {
     ///
     /// # Panics
     ///
-    /// Panics if no branch is configured or `frames` is empty.
+    /// Panics if no branch is configured, `frames` is empty, or the
+    /// detection frame's op fails (possible only under a nonzero
+    /// [`lr_device::FaultPlan`] — fault-aware callers use
+    /// [`Mbek::try_run_gof`]).
     pub fn run_gof(&mut self, frames: &[FrameTruth], device: &mut DeviceSim) -> GofResult {
-        let branch = self.branch.expect("no branch configured");
+        self.try_run_gof(frames, device, &GofOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-aware [`Mbek::run_gof`]: device ops go through
+    /// [`DeviceSim::run_op`], so an injected transient failure on the
+    /// detection frame surfaces as [`GofError::DetectorFault`] instead of
+    /// a panic. Mid-GoF detector failures (detector-only branches) are
+    /// absorbed by reusing the previous frame's detections; the optional
+    /// [`GofOptions::deadline_ms`] watchdog coasts the remaining frames
+    /// once the GoF's kernel time exceeds the deadline. With no fault
+    /// plan on the device and no deadline, this is byte-identical to the
+    /// pre-fault `run_gof`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn try_run_gof(
+        &mut self,
+        frames: &[FrameTruth],
+        device: &mut DeviceSim,
+        opts: &GofOptions,
+    ) -> Result<GofResult, GofError> {
+        let Some(branch) = self.branch else {
+            return Err(GofError::NoBranch);
+        };
         assert!(!frames.is_empty(), "empty GoF");
 
-        let mut per_frame = Vec::with_capacity(frames.len());
+        let mut per_frame: Vec<Vec<Detection>> = Vec::with_capacity(frames.len());
         let mut detector_ms = 0.0;
         let mut tracker_ms = 0.0;
+        let mut absorbed_faults = 0usize;
+        let mut coasted_frames = 0usize;
+        let mut deadline_aborted = false;
 
-        // Detection frame.
+        // Detection frame. A transient failure here means the GoF has no
+        // detections to track from: propagate to the caller's ladder.
         let det_base = latency::detector_base_ms(self.detector.family(), branch.detector)
             * self.latency_factor;
-        detector_ms += device.charge(OpUnit::Gpu, det_base);
+        match device.run_op(OpUnit::Gpu, det_base) {
+            Ok(ms) => detector_ms += ms,
+            Err(OpError::Transient { wasted_ms }) => {
+                return Err(GofError::DetectorFault { wasted_ms });
+            }
+        }
         let first_output = self
             .detector
             .detect(&frames[0], branch.detector, device.rng());
@@ -121,7 +208,20 @@ impl Mbek {
         }
 
         // Remaining frames.
-        for frame in &frames[1..] {
+        for (idx, frame) in frames.iter().enumerate().skip(1) {
+            if let Some(deadline) = opts.deadline_ms {
+                if detector_ms + tracker_ms > deadline {
+                    // Watchdog: the GoF has already blown its budget
+                    // (throttle episode, stall spike). Coast the rest on
+                    // the last produced boxes — stale accuracy beats a
+                    // cascading SLO violation.
+                    let last = per_frame[idx - 1].clone();
+                    coasted_frames = frames.len() - idx;
+                    per_frame.extend(std::iter::repeat_n(last, coasted_frames));
+                    deadline_aborted = true;
+                    break;
+                }
+            }
             match &mut self.tracker {
                 Some(tracker) => {
                     let base = latency::tracker_base_ms(
@@ -133,20 +233,91 @@ impl Mbek {
                     let boxes = tracker.step(frame, device.rng());
                     per_frame.push(boxes);
                 }
-                None => {
-                    detector_ms += device.charge(OpUnit::Gpu, det_base);
-                    let out = self.detector.detect(frame, branch.detector, device.rng());
-                    per_frame.push(out.detections);
-                }
+                None => match device.run_op(OpUnit::Gpu, det_base) {
+                    Ok(ms) => {
+                        detector_ms += ms;
+                        let out = self.detector.detect(frame, branch.detector, device.rng());
+                        per_frame.push(out.detections);
+                    }
+                    Err(OpError::Transient { wasted_ms }) => {
+                        // Mid-GoF failure with prior detections in hand:
+                        // absorb by holding the previous frame's boxes.
+                        detector_ms += wasted_ms;
+                        absorbed_faults += 1;
+                        per_frame.push(per_frame[idx - 1].clone());
+                    }
+                },
             }
         }
 
-        GofResult {
+        Ok(GofResult {
             per_frame,
             detector_ms,
             tracker_ms,
             first_frame_output: first_output,
+            absorbed_faults,
+            coasted_frames,
+            deadline_aborted,
+        })
+    }
+
+    /// Tracker-only fallback GoF: runs `frames` with **no** detection,
+    /// seeding the branch's tracker from `seed_dets` (the last known-good
+    /// detections). This is the bottom rung of the pipeline's fallback
+    /// ladder after a detection failure. Detector-only branches have no
+    /// tracker to seed, so the whole GoF coasts on `seed_dets` unchanged
+    /// (charged nothing — the detector is the thing that failed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn run_gof_fallback(
+        &mut self,
+        frames: &[FrameTruth],
+        device: &mut DeviceSim,
+        seed_dets: &[Detection],
+    ) -> Result<GofResult, GofError> {
+        let Some(branch) = self.branch else {
+            return Err(GofError::NoBranch);
+        };
+        assert!(!frames.is_empty(), "empty GoF");
+
+        let mut per_frame: Vec<Vec<Detection>> = Vec::with_capacity(frames.len());
+        let mut tracker_ms = 0.0;
+        let mut coasted_frames = 0usize;
+
+        match &mut self.tracker {
+            Some(tracker) => {
+                tracker.reinit(seed_dets, &frames[0]);
+                for frame in frames {
+                    let base = latency::tracker_base_ms(
+                        tracker.kind(),
+                        branch.downsample,
+                        tracker.num_tracks(),
+                    ) * self.latency_factor;
+                    tracker_ms += device.charge(OpUnit::Cpu, base);
+                    per_frame.push(tracker.step(frame, device.rng()));
+                }
+            }
+            None => {
+                coasted_frames = frames.len();
+                per_frame.extend(std::iter::repeat_n(seed_dets.to_vec(), coasted_frames));
+            }
         }
+
+        let first_frame_output = DetectorOutput {
+            detections: per_frame[0].clone(),
+            proposal_logits: Vec::new(),
+        };
+        Ok(GofResult {
+            per_frame,
+            detector_ms: 0.0,
+            tracker_ms,
+            first_frame_output,
+            absorbed_faults: 0,
+            coasted_frames,
+            deadline_aborted: false,
+        })
     }
 }
 
@@ -252,5 +423,141 @@ mod tests {
         let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 6);
         let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
         let _ = mbek.run_gof(&v.frames[0..4], &mut dev);
+    }
+
+    #[test]
+    fn try_run_gof_without_branch_is_typed_error() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 6);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        let err = mbek
+            .try_run_gof(&v.frames[0..4], &mut dev, &GofOptions::default())
+            .unwrap_err();
+        assert_eq!(err, GofError::NoBranch);
+    }
+
+    #[test]
+    fn try_run_gof_matches_run_gof_without_faults() {
+        let v = video();
+        let mut dev_a = DeviceSim::new(DeviceKind::JetsonTx2, 0.25, 7);
+        let mut dev_b = DeviceSim::new(DeviceKind::JetsonTx2, 0.25, 7);
+        let mut mbek_a = Mbek::new(DetectorFamily::FasterRcnn);
+        let mut mbek_b = Mbek::new(DetectorFamily::FasterRcnn);
+        mbek_a.set_branch(Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4));
+        mbek_b.set_branch(Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4));
+        let a = mbek_a.run_gof(&v.frames[0..8], &mut dev_a);
+        let b = mbek_b
+            .try_run_gof(&v.frames[0..8], &mut dev_b, &GofOptions::default())
+            .unwrap();
+        assert_eq!(a.detector_ms.to_bits(), b.detector_ms.to_bits());
+        assert_eq!(a.tracker_ms.to_bits(), b.tracker_ms.to_bits());
+        assert_eq!(a.per_frame.len(), b.per_frame.len());
+        assert_eq!(b.absorbed_faults, 0);
+        assert_eq!(b.coasted_frames, 0);
+        assert!(!b.deadline_aborted);
+    }
+
+    #[test]
+    fn certain_fault_on_detection_frame_propagates() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 8);
+        dev.set_fault_plan(Some(lr_device::FaultPlan::generate(
+            lr_device::FaultConfig {
+                transient_rate: 1.0,
+                stall_rate: 0.0,
+                ..lr_device::FaultConfig::moderate(11)
+            },
+        )));
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        mbek.set_branch(Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4));
+        let err = mbek
+            .try_run_gof(&v.frames[0..8], &mut dev, &GofOptions::default())
+            .unwrap_err();
+        match err {
+            GofError::DetectorFault { wasted_ms } => assert!(wasted_ms > 0.0),
+            other => panic!("expected DetectorFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_gof_fault_is_absorbed_on_detector_only_branch() {
+        let v = video();
+        // Scan seeds for a plan whose first GPU draw passes but a later
+        // one fails — absorption only exists for mid-GoF failures.
+        let mut found = false;
+        for seed in 0..64 {
+            let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 9);
+            dev.set_fault_plan(Some(lr_device::FaultPlan::generate(
+                lr_device::FaultConfig {
+                    transient_rate: 0.4,
+                    stall_rate: 0.0,
+                    ..lr_device::FaultConfig::moderate(seed)
+                },
+            )));
+            let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+            mbek.set_branch(Branch::detector_only(224, 5));
+            if let Ok(r) = mbek.try_run_gof(&v.frames[0..8], &mut dev, &GofOptions::default()) {
+                if r.absorbed_faults > 0 {
+                    assert_eq!(r.per_frame.len(), 8);
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(found, "no seed produced a mid-GoF absorbed fault");
+    }
+
+    #[test]
+    fn deadline_watchdog_coasts_remaining_frames() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 10);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        mbek.set_branch(Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4));
+        let opts = GofOptions {
+            deadline_ms: Some(0.01),
+        };
+        let r = mbek.try_run_gof(&v.frames[0..8], &mut dev, &opts).unwrap();
+        assert!(r.deadline_aborted);
+        assert_eq!(r.coasted_frames, 7);
+        assert_eq!(r.per_frame.len(), 8);
+        assert_eq!(r.tracker_ms, 0.0);
+    }
+
+    #[test]
+    fn fallback_gof_tracks_from_seed_detections() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 11);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        mbek.set_branch(Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4));
+        let seeded = mbek.run_gof(&v.frames[0..8], &mut dev);
+        let seed_dets = seeded.per_frame.last().unwrap().clone();
+        let r = mbek
+            .run_gof_fallback(&v.frames[8..16], &mut dev, &seed_dets)
+            .unwrap();
+        assert_eq!(r.per_frame.len(), 8);
+        assert_eq!(r.detector_ms, 0.0);
+        assert!(r.tracker_ms > 0.0);
+        assert_eq!(r.coasted_frames, 0);
+        assert!(r.first_frame_output.proposal_logits.is_empty());
+    }
+
+    #[test]
+    fn fallback_gof_coasts_on_detector_only_branch() {
+        let v = video();
+        let mut dev = DeviceSim::new(DeviceKind::JetsonTx2, 0.0, 12);
+        let mut mbek = Mbek::new(DetectorFamily::FasterRcnn);
+        mbek.set_branch(Branch::tracked(448, 20, TrackerKind::Kcf, 8, 4));
+        let seeded = mbek.run_gof(&v.frames[0..8], &mut dev);
+        let seed_dets = seeded.per_frame.last().unwrap().clone();
+        mbek.set_branch(Branch::detector_only(224, 5));
+        let before = dev.now_ms();
+        let r = mbek
+            .run_gof_fallback(&v.frames[8..16], &mut dev, &seed_dets)
+            .unwrap();
+        assert_eq!(r.per_frame.len(), 8);
+        assert_eq!(r.coasted_frames, 8);
+        assert_eq!(r.kernel_ms(), 0.0);
+        assert_eq!(dev.now_ms(), before);
+        assert_eq!(r.per_frame[0].len(), seed_dets.len());
     }
 }

@@ -117,6 +117,40 @@ impl AdmissionController {
         Self::demand_fractions(trained, profile, slo_ms).map(|d| d.typical)
     }
 
+    /// The fraction [`AdmissionController::offer`] books for a stream of
+    /// `class` under the given decision (0 for rejections). Lets the
+    /// dispatcher release exactly what was booked when it later evicts
+    /// the stream for exceeding its fault budget.
+    pub fn booked_fraction(
+        trained: &TrainedScheduler,
+        profile: &DeviceProfile,
+        class: SloClass,
+        decision: AdmissionDecision,
+    ) -> f64 {
+        let Some(demand) = Self::demand_fractions(trained, profile, class.slo_ms()) else {
+            return 0.0;
+        };
+        match decision {
+            AdmissionDecision::Admitted => demand.typical.min(1.0),
+            AdmissionDecision::Degraded => demand.floor,
+            AdmissionDecision::Rejected => 0.0,
+        }
+    }
+
+    /// Releases previously booked capacity (an evicted stream's share),
+    /// making room for later re-admission offers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative or non-finite.
+    pub fn release(&mut self, fraction: f64) {
+        assert!(
+            fraction >= 0.0 && fraction.is_finite(),
+            "bad fraction {fraction}"
+        );
+        self.committed = (self.committed - fraction).max(0.0);
+    }
+
     /// Offers a stream of the given class. Books capacity and returns
     /// the decision; rejected streams book nothing.
     pub fn offer(
@@ -257,6 +291,38 @@ mod tests {
         assert_eq!(
             ctl.offer(&t, &profile, SloClass::Bronze),
             AdmissionDecision::Rejected
+        );
+    }
+
+    #[test]
+    fn release_frees_exactly_what_offer_booked() {
+        let t = trained();
+        let profile = DeviceKind::JetsonTx2.profile();
+        let mut ctl = AdmissionController::new(0.85);
+        let d = ctl.offer(&t, &profile, SloClass::Bronze);
+        assert_eq!(d, AdmissionDecision::Admitted);
+        let booked = AdmissionController::booked_fraction(&t, &profile, SloClass::Bronze, d);
+        assert!(booked > 0.0);
+        assert!((ctl.committed() - booked).abs() < 1e-12);
+        ctl.release(booked);
+        assert!(ctl.committed().abs() < 1e-12);
+        // Release never goes negative, even when over-released.
+        ctl.release(1.0);
+        assert_eq!(ctl.committed(), 0.0);
+    }
+
+    #[test]
+    fn rejected_streams_book_nothing() {
+        let t = trained();
+        let profile = DeviceKind::JetsonTx2.profile();
+        assert_eq!(
+            AdmissionController::booked_fraction(
+                &t,
+                &profile,
+                SloClass::Bronze,
+                AdmissionDecision::Rejected
+            ),
+            0.0
         );
     }
 

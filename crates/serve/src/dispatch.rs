@@ -21,10 +21,6 @@ use crate::report::{ServeReport, StreamReport};
 use crate::shared::SharedDevice;
 use crate::slo::StreamSpec;
 
-/// Consecutive SLO-violating GoFs before backpressure degrades a
-/// degradable stream mid-run.
-const BACKPRESSURE_GOFS: usize = 8;
-
 /// Configuration of one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -67,6 +63,26 @@ pub struct ServeConfig {
     /// host's available parallelism). Results are bit-identical for any
     /// value.
     pub pool_threads: usize,
+    /// Consecutive SLO-violating GoFs before backpressure degrades a
+    /// degradable stream mid-run.
+    pub backpressure_gofs: usize,
+    /// Fault-injection schedule template: each stream gets a private
+    /// `FaultPlan` whose seed is derived from this config's seed and the
+    /// stream's first video seed. `None` (the default) serves clean and
+    /// is byte-identical to the pre-fault dispatcher.
+    pub fault: Option<lr_device::FaultConfig>,
+    /// Sliding window (in GoFs) over which a stream's fault rate is
+    /// measured for eviction.
+    pub fault_window_gofs: usize,
+    /// Fraction of the window's GoFs that must have faulted to evict the
+    /// stream.
+    pub fault_rate_threshold: f64,
+    /// Initial re-admission backoff after a fault eviction, in virtual
+    /// milliseconds. Doubles per eviction up to
+    /// [`ServeConfig::fault_backoff_max_ms`].
+    pub fault_backoff_ms: f64,
+    /// Cap on the exponential re-admission backoff.
+    pub fault_backoff_max_ms: f64,
 }
 
 impl ServeConfig {
@@ -85,6 +101,12 @@ impl ServeConfig {
             seed: 0,
             round_quantum_ms: 50.0,
             pool_threads: 0,
+            backpressure_gofs: 8,
+            fault: None,
+            fault_window_gofs: 12,
+            fault_rate_threshold: 0.5,
+            fault_backoff_ms: 500.0,
+            fault_backoff_max_ms: 8_000.0,
         }
     }
 
@@ -120,14 +142,42 @@ struct ActiveStream {
     /// to reserve the stream's expected demand on the shared device
     /// before the next round it joins, so co-members see it.
     last_gof: Option<(f64, f64)>,
+    /// Sliding window over recent GoFs: `true` = that GoF absorbed at
+    /// least one fault. Only maintained when fault injection is on.
+    fault_window: std::collections::VecDeque<bool>,
+    /// When set, the stream is evicted and may not step before this
+    /// virtual time, at which point it is re-offered to admission.
+    backed_off_until: Option<f64>,
+    /// Virtual time of the last fault eviction.
+    evicted_at_ms: f64,
+    /// Next backoff duration (doubles per eviction, capped).
+    backoff_ms: f64,
+    evictions: usize,
+    recovery_ms_total: f64,
+    /// The final re-admission offer was rejected: permanently evicted.
+    terminal_evicted: bool,
+    /// Capacity fraction currently booked with the admission controller
+    /// (released on eviction, re-booked on re-admission).
+    booked_fraction: f64,
 }
 
 impl ActiveStream {
     /// Earliest virtual time the next GoF may start: the head frame's
-    /// arrival, or now if the stream has fallen behind its camera.
+    /// arrival, or now if the stream has fallen behind its camera —
+    /// further delayed by any active eviction backoff.
     fn ready_ms(&self) -> f64 {
         let arrival = self.pipeline.frames_done() as f64 * self.period_ms;
-        arrival.max(self.device.now_ms())
+        let base = arrival.max(self.device.now_ms());
+        match self.backed_off_until {
+            Some(until) => base.max(until),
+            None => base,
+        }
+    }
+
+    /// True while the stream still has frames to serve and has not been
+    /// permanently evicted.
+    fn runnable(&self) -> bool {
+        !self.terminal_evicted && !self.pipeline.finished()
     }
 
     /// Dispatch key: ready time aged by priority, so higher classes
@@ -193,7 +243,8 @@ pub fn serve(
             .iter()
             .map(|v| Video::generate(v.clone()))
             .collect();
-        let seed = stream_seed(cfg.seed, spec.videos.first().map_or(0, |v| v.seed));
+        let first_video_seed = spec.videos.first().map_or(0, |v| v.seed);
+        let seed = stream_seed(cfg.seed, first_video_seed);
         let mut run_cfg = RunConfig::clean(cfg.device, 0.0, spec.class.slo_ms(), seed);
         run_cfg.contention_adaptive = cfg.contention_adaptive;
         let mut pipeline = StreamPipeline::new(videos, trained.clone(), policy, &run_cfg);
@@ -201,10 +252,25 @@ pub fn serve(
         if degraded {
             pipeline.set_headroom(cfg.degraded_headroom);
         }
+        let mut device = DeviceSim::new(cfg.device, 0.0, seed);
+        if let Some(fault) = cfg.fault {
+            // Per-stream fault schedule: derived from the fault seed and
+            // the stream's first video seed (position-independent, like
+            // the noise seed above).
+            let plan_seed = stream_seed(fault.seed ^ 0xFA17, first_video_seed);
+            device.set_fault_plan(Some(lr_device::FaultPlan::generate(
+                fault.with_seed(plan_seed),
+            )));
+        }
+        let booked_fraction = if cfg.admission_enabled {
+            AdmissionController::booked_fraction(&trained, &profile, spec.class, decision)
+        } else {
+            0.0
+        };
         active.push(ActiveStream {
             spec_idx: i,
             slot: shared.register(),
-            device: DeviceSim::new(cfg.device, 0.0, seed),
+            device,
             svc: FeatureService::with_raster_size(svc.raster_size()),
             pipeline,
             priority: spec.class.priority(),
@@ -216,6 +282,14 @@ pub fn serve(
             gofs: 0,
             consecutive_violations: 0,
             last_gof: None,
+            fault_window: std::collections::VecDeque::new(),
+            backed_off_until: None,
+            evicted_at_ms: 0.0,
+            backoff_ms: cfg.fault_backoff_ms,
+            evictions: 0,
+            recovery_ms_total: 0.0,
+            terminal_evicted: false,
+            booked_fraction,
         });
     }
 
@@ -227,17 +301,52 @@ pub fn serve(
     loop {
         let min_key = active
             .iter()
-            .filter(|s| !s.pipeline.finished())
+            .filter(|s| s.runnable())
             .map(|s| s.aged_key(cfg.aging_boost_ms))
             .fold(f64::INFINITY, f64::min);
         if !min_key.is_finite() {
             break;
         }
         let threshold = min_key + cfg.round_quantum_ms;
-        let mut round: Vec<&mut ActiveStream> = active
-            .iter_mut()
-            .filter(|s| !s.pipeline.finished() && s.aged_key(cfg.aging_boost_ms) <= threshold)
-            .collect();
+        // Membership is computed serially, in stream order. A backed-off
+        // stream whose backoff has elapsed (its ready time folds the
+        // backoff in) is re-offered to the admission controller here:
+        // re-admitted streams rejoin the round, a rejected re-offer is a
+        // terminal eviction (the controller never freed enough capacity).
+        let mut round: Vec<&mut ActiveStream> = Vec::new();
+        for s in active.iter_mut() {
+            if !s.runnable() || s.aged_key(cfg.aging_boost_ms) > threshold {
+                continue;
+            }
+            if let Some(until) = s.backed_off_until {
+                let class = specs[s.spec_idx].class;
+                let decision = if cfg.admission_enabled {
+                    controller.offer(&trained, &profile, class)
+                } else {
+                    AdmissionDecision::Admitted
+                };
+                if decision == AdmissionDecision::Rejected {
+                    s.terminal_evicted = true;
+                    continue;
+                }
+                s.booked_fraction =
+                    AdmissionController::booked_fraction(&trained, &profile, class, decision);
+                s.backed_off_until = None;
+                s.recovery_ms_total += until - s.evicted_at_ms;
+                s.device.idle_until(until);
+                if decision == AdmissionDecision::Degraded && !s.degraded {
+                    s.pipeline.set_headroom(cfg.degraded_headroom);
+                    s.degraded = true;
+                    s.degraded_midrun = true;
+                }
+            }
+            round.push(s);
+        }
+        if round.is_empty() {
+            // Every in-threshold stream was terminally evicted this
+            // iteration; re-evaluate the remaining population.
+            continue;
+        }
 
         // Publish each member's expected demand (its previous GoF's
         // footprint at its upcoming start) before anyone measures. A
@@ -289,7 +398,8 @@ pub fn serve(
             s.gofs += 1;
             if step.per_frame_ms > s.pipeline.slo_ms() {
                 s.consecutive_violations += 1;
-                if s.consecutive_violations >= BACKPRESSURE_GOFS && s.degradable && !s.degraded {
+                if s.consecutive_violations >= cfg.backpressure_gofs && s.degradable && !s.degraded
+                {
                     s.pipeline.set_headroom(cfg.degraded_headroom);
                     s.degraded = true;
                     s.degraded_midrun = true;
@@ -297,6 +407,29 @@ pub fn serve(
                 }
             } else {
                 s.consecutive_violations = 0;
+            }
+            // Fault accounting: a stream whose recent GoFs keep faulting
+            // is evicted — its booked capacity released — and re-offered
+            // only after an exponential backoff.
+            if cfg.fault.is_some() {
+                s.fault_window.push_back(step.faults > 0);
+                if s.fault_window.len() > cfg.fault_window_gofs {
+                    s.fault_window.pop_front();
+                }
+                if s.fault_window.len() == cfg.fault_window_gofs {
+                    let faulted = s.fault_window.iter().filter(|&&f| f).count();
+                    if faulted as f64 >= cfg.fault_rate_threshold * cfg.fault_window_gofs as f64 {
+                        s.evictions += 1;
+                        s.evicted_at_ms = s.device.now_ms();
+                        s.backed_off_until = Some(s.evicted_at_ms + s.backoff_ms);
+                        s.backoff_ms = (s.backoff_ms * 2.0).min(cfg.fault_backoff_max_ms);
+                        s.fault_window.clear();
+                        if cfg.admission_enabled {
+                            controller.release(s.booked_fraction);
+                            s.booked_fraction = 0.0;
+                        }
+                    }
+                }
             }
         }
     }
@@ -323,6 +456,11 @@ pub fn serve(
             gofs: s.gofs,
             mean_slowdown,
             latency: result.latency,
+            faults: result.faults,
+            degraded_gofs: result.degraded_gofs,
+            evictions: s.evictions,
+            terminal_evicted: s.terminal_evicted,
+            recovery_ms_total: s.recovery_ms_total,
         });
     }
     let streams = specs
@@ -341,6 +479,11 @@ pub fn serve(
                 frames: 0,
                 gofs: 0,
                 mean_slowdown: 1.0,
+                faults: 0,
+                degraded_gofs: 0,
+                evictions: 0,
+                terminal_evicted: false,
+                recovery_ms_total: 0.0,
             })
         })
         .collect();
@@ -422,6 +565,75 @@ mod tests {
             assert!((x.latency.mean() - y.latency.mean()).abs() < 1e-9);
             assert!((x.map - y.map).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn faulted_serving_survives_and_accounts() {
+        let t = trained();
+        let mut svc = FeatureService::new();
+        let specs: Vec<StreamSpec> = (0..3)
+            .map(|i| StreamSpec::synthetic(i, SloClass::Silver, 48))
+            .collect();
+        let mut cfg = ServeConfig::new(DeviceKind::JetsonTx2);
+        cfg.fault = Some(lr_device::FaultConfig {
+            transient_rate: 0.3,
+            ..lr_device::FaultConfig::moderate(77)
+        });
+        // A small window and permissive threshold so eviction machinery
+        // exercises on a short run.
+        cfg.fault_window_gofs = 3;
+        cfg.fault_rate_threshold = 0.34;
+        cfg.fault_backoff_ms = 100.0;
+        let r = serve(&specs, t, Policy::MinCost, &cfg, &mut svc);
+        assert!(r.total_faults() > 0, "30% transient rate must fault");
+        assert!(r.degraded_gof_fraction() > 0.0);
+        // Every admitted, non-terminally-evicted stream finishes.
+        for s in &r.streams {
+            if s.admitted() && !s.terminal_evicted {
+                assert_eq!(s.frames, 48, "{} did not finish", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_serving_is_deterministic() {
+        let t = trained();
+        let specs: Vec<StreamSpec> = (0..3)
+            .map(|i| StreamSpec::synthetic(i, SloClass::Silver, 48))
+            .collect();
+        let mut cfg = ServeConfig::new(DeviceKind::JetsonTx2);
+        cfg.fault = Some(lr_device::FaultConfig {
+            transient_rate: 0.3,
+            ..lr_device::FaultConfig::moderate(78)
+        });
+        cfg.fault_window_gofs = 3;
+        cfg.fault_rate_threshold = 0.34;
+        cfg.fault_backoff_ms = 100.0;
+        let mut svc = FeatureService::new();
+        let a = serve(&specs, t.clone(), Policy::MinCost, &cfg, &mut svc);
+        let b = serve(&specs, t, Policy::MinCost, &cfg, &mut svc);
+        for (x, y) in a.streams.iter().zip(&b.streams) {
+            assert_eq!(x.frames, y.frames);
+            assert_eq!(x.gofs, y.gofs);
+            assert_eq!(x.faults, y.faults);
+            assert_eq!(x.degraded_gofs, y.degraded_gofs);
+            assert_eq!(x.evictions, y.evictions);
+            assert_eq!(x.terminal_evicted, y.terminal_evicted);
+            assert_eq!(x.recovery_ms_total.to_bits(), y.recovery_ms_total.to_bits());
+            assert_eq!(x.map.to_bits(), y.map.to_bits());
+        }
+    }
+
+    #[test]
+    fn clean_serving_reports_no_faults() {
+        let t = trained();
+        let mut svc = FeatureService::new();
+        let specs = vec![StreamSpec::synthetic(0, SloClass::Bronze, 64)];
+        let cfg = ServeConfig::new(DeviceKind::JetsonTx2);
+        let r = serve(&specs, t, Policy::MinCost, &cfg, &mut svc);
+        assert_eq!(r.total_faults(), 0);
+        assert_eq!(r.total_evictions(), 0);
+        assert_eq!(r.degraded_gof_fraction(), 0.0);
     }
 
     #[test]

@@ -29,12 +29,42 @@ pub struct StreamReport {
     pub gofs: usize,
     /// Mean endogenous GPU slowdown observed across GoFs (1 = alone).
     pub mean_slowdown: f64,
+    /// Transient device faults absorbed by the stream's pipeline.
+    pub faults: usize,
+    /// GoFs that ran degraded (any fallback-ladder rung fired).
+    pub degraded_gofs: usize,
+    /// Fault-rate evictions followed by backoff and re-admission offers.
+    pub evictions: usize,
+    /// True when the final re-admission offer was rejected and the
+    /// stream was permanently evicted before finishing.
+    pub terminal_evicted: bool,
+    /// Total virtual milliseconds spent backed off (eviction → offer).
+    pub recovery_ms_total: f64,
 }
 
 impl StreamReport {
     /// True unless the stream was rejected at admission.
     pub fn admitted(&self) -> bool {
         self.decision != AdmissionDecision::Rejected
+    }
+
+    /// Fraction of executed GoFs that ran degraded.
+    pub fn degraded_gof_fraction(&self) -> f64 {
+        if self.gofs == 0 {
+            0.0
+        } else {
+            self.degraded_gofs as f64 / self.gofs as f64
+        }
+    }
+
+    /// Mean backoff-driven recovery time per eviction (0 when never
+    /// evicted).
+    pub fn mean_recovery_ms(&self) -> f64 {
+        if self.evictions == 0 {
+            0.0
+        } else {
+            self.recovery_ms_total / self.evictions as f64
+        }
     }
 }
 
@@ -109,6 +139,74 @@ impl ServeReport {
             return 0.0;
         }
         admitted.iter().map(|s| s.map).sum::<f64>() / admitted.len() as f64
+    }
+
+    /// Total transient faults absorbed across streams.
+    pub fn total_faults(&self) -> usize {
+        self.streams.iter().map(|s| s.faults).sum()
+    }
+
+    /// Total fault-rate evictions across streams.
+    pub fn total_evictions(&self) -> usize {
+        self.streams.iter().map(|s| s.evictions).sum()
+    }
+
+    /// Streams permanently evicted before finishing.
+    pub fn terminal_evictions(&self) -> usize {
+        self.streams.iter().filter(|s| s.terminal_evicted).count()
+    }
+
+    /// GoF-weighted degraded-GoF fraction over admitted streams.
+    pub fn degraded_gof_fraction(&self) -> f64 {
+        let mut degraded = 0usize;
+        let mut gofs = 0usize;
+        for s in self.streams.iter().filter(|s| s.admitted()) {
+            degraded += s.degraded_gofs;
+            gofs += s.gofs;
+        }
+        if gofs == 0 {
+            0.0
+        } else {
+            degraded as f64 / gofs as f64
+        }
+    }
+
+    /// A per-stream fault/degradation table plus an aggregate footer
+    /// (separate from [`ServeReport::format_table`], which stays
+    /// byte-identical for clean runs).
+    pub fn format_fault_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:>6} {:>7} {:>6} {:>6} {:>8} {:>8}\n",
+            "stream", "class", "faults", "dgof%", "evict", "recov", "status"
+        ));
+        for s in &self.streams {
+            let status = if !s.admitted() {
+                "reject"
+            } else if s.terminal_evicted {
+                "evicted"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<8} {:>6} {:>7} {:>6.1} {:>6} {:>8.1} {:>8}\n",
+                s.name,
+                s.class.label(),
+                s.faults,
+                s.degraded_gof_fraction() * 100.0,
+                s.evictions,
+                s.mean_recovery_ms(),
+                status,
+            ));
+        }
+        out.push_str(&format!(
+            "faults {} | degraded GoFs {:.1}% | evictions {} (terminal {})\n",
+            self.total_faults(),
+            self.degraded_gof_fraction() * 100.0,
+            self.total_evictions(),
+            self.terminal_evictions(),
+        ));
+        out
     }
 
     /// A per-stream table plus an aggregate footer.
@@ -202,7 +300,34 @@ mod tests {
             gofs: samples.len().div_ceil(8),
             mean_slowdown: 1.0,
             latency,
+            faults: 0,
+            degraded_gofs: 0,
+            evictions: 0,
+            terminal_evicted: false,
+            recovery_ms_total: 0.0,
         }
+    }
+
+    #[test]
+    fn fault_table_reports_degradation() {
+        let mut a = stream("a", AdmissionDecision::Admitted, &[10.0, 20.0]);
+        a.faults = 5;
+        a.degraded_gofs = 1;
+        a.evictions = 2;
+        a.recovery_ms_total = 1500.0;
+        let mut b = stream("b", AdmissionDecision::Admitted, &[10.0]);
+        b.terminal_evicted = true;
+        let r = ServeReport {
+            admission_enabled: true,
+            streams: vec![a, b],
+        };
+        assert_eq!(r.total_faults(), 5);
+        assert_eq!(r.total_evictions(), 2);
+        assert_eq!(r.terminal_evictions(), 1);
+        assert!((r.streams[0].mean_recovery_ms() - 750.0).abs() < 1e-9);
+        let table = r.format_fault_table();
+        assert!(table.contains("evicted"));
+        assert!(table.contains("faults 5"));
     }
 
     #[test]

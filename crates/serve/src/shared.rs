@@ -260,6 +260,49 @@ mod tests {
     }
 
     #[test]
+    fn record_straddling_window_boundary_counts_inside_share_only() {
+        let mut d = SharedDevice::new(1000.0, 0.95);
+        let a = d.register();
+        let b = d.register();
+        // Window at now=2000 is 1000..2000; the record spans 600..1400,
+        // so 400 of its 800 ms interval (half of 300 GPU-ms) is inside.
+        d.record(b, 600.0, 1400.0, 300.0);
+        let rho = d.occupancy_excluding(a, 2000.0);
+        assert!((rho - 0.15).abs() < 1e-9, "rho {rho}");
+        // The same proportional rule applies to a reservation on the
+        // boundary: 1700..2300 overlaps the window for half its span.
+        d.reserve(b, 1700.0, 2300.0, 200.0);
+        let rho = d.occupancy_excluding(a, 2000.0);
+        assert!((rho - 0.25).abs() < 1e-9, "rho {rho}");
+    }
+
+    #[test]
+    fn stale_reservation_outside_window_adds_nothing() {
+        let mut d = SharedDevice::new(1000.0, 0.95);
+        let a = d.register();
+        let b = d.register();
+        // A reservation that was never cleared but whose interval has
+        // aged fully out of the query window must contribute zero, not
+        // linger as phantom load.
+        d.reserve(b, 0.0, 400.0, 350.0);
+        assert!(d.occupancy_excluding(a, 400.0) > 0.0);
+        assert_eq!(d.occupancy_excluding(a, 5000.0), 0.0);
+        assert_eq!(d.slowdown_for(a, 5000.0), 1.0);
+    }
+
+    #[test]
+    fn slowdown_is_exactly_one_at_zero_co_stream_load() {
+        let mut d = SharedDevice::new(1000.0, 0.95);
+        let a = d.register();
+        let b = d.register();
+        // Registered but idle co-streams impose no stretch, including a
+        // zero-demand record and a zero-length interval.
+        d.record(b, 500.0, 500.0, 0.0);
+        assert_eq!(d.occupancy_excluding(a, 1000.0), 0.0);
+        assert_eq!(d.slowdown_for(a, 1000.0), 1.0);
+    }
+
+    #[test]
     fn old_records_age_out_of_the_window() {
         let mut d = SharedDevice::new(1000.0, 0.95);
         let a = d.register();

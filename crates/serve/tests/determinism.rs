@@ -103,6 +103,24 @@ fn assert_reports_identical(a: &ServeReport, b: &ServeReport, label: &str) {
             "{label}: {} mean latency",
             x.name
         );
+        assert_eq!(x.faults, y.faults, "{label}: {} faults", x.name);
+        assert_eq!(
+            x.degraded_gofs, y.degraded_gofs,
+            "{label}: {} degraded GoFs",
+            x.name
+        );
+        assert_eq!(x.evictions, y.evictions, "{label}: {} evictions", x.name);
+        assert_eq!(
+            x.terminal_evicted, y.terminal_evicted,
+            "{label}: {} terminal eviction",
+            x.name
+        );
+        assert_eq!(
+            x.recovery_ms_total.to_bits(),
+            y.recovery_ms_total.to_bits(),
+            "{label}: {} recovery time",
+            x.name
+        );
     }
 }
 
@@ -123,6 +141,40 @@ fn serve_reports_are_identical_for_one_and_four_workers() {
             let parallel = run(4);
             assert_reports_identical(&serial, &parallel, &format!("{device:?} seed {seed}"));
         }
+    }
+}
+
+#[test]
+fn faulted_serving_is_thread_count_invariant() {
+    // With fault injection live, the eviction/backoff/re-admission
+    // machinery and the fallback ladder all run — the report must still
+    // be bit-identical for any worker count.
+    let t = trained();
+    let specs = mixed_specs(6);
+    let run = |threads: usize| {
+        let mut cfg = ServeConfig::new(DeviceKind::JetsonTx2);
+        cfg.seed = 5;
+        cfg.pool_threads = threads;
+        let mut fault = lr_device::FaultConfig::moderate(404);
+        fault.transient_rate = 0.25;
+        cfg.fault = Some(fault);
+        cfg.fault_window_gofs = 3;
+        cfg.fault_rate_threshold = 0.34;
+        cfg.fault_backoff_ms = 120.0;
+        let mut svc = FeatureService::new();
+        serve(&specs, t.clone(), Policy::CostBenefit, &cfg, &mut svc)
+    };
+    let serial = run(1);
+    assert!(
+        serial.total_faults() > 0,
+        "fault injection never fired; the test is vacuous"
+    );
+    for threads in [2, 4] {
+        assert_reports_identical(
+            &serial,
+            &run(threads),
+            &format!("faulted {threads} workers"),
+        );
     }
 }
 
