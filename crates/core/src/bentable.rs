@@ -27,20 +27,23 @@ impl BenTable {
     /// Computes the table from offline data and trained models.
     ///
     /// `models` must contain the [`FeatureKind::Light`] model and one
-    /// model per heavy feature to be tabulated.
+    /// model per heavy feature to be tabulated. Without a light model
+    /// there is no baseline to measure gains against, so the table
+    /// degrades to empty (every lookup returns 0, i.e. no feature is
+    /// ever worth recruiting).
     ///
     /// # Panics
     ///
-    /// Panics if the light model is missing or `slos` is empty.
+    /// Panics if `slos` is empty.
     pub fn compute(
         dataset: &OfflineDataset,
         models: &BTreeMap<FeatureKind, AccuracyModel>,
         slos: &[f64],
     ) -> Self {
         assert!(!slos.is_empty(), "need at least one SLO bucket");
-        let light_model = models
-            .get(&FeatureKind::Light)
-            .expect("light model required");
+        let Some(light_model) = models.get(&FeatureKind::Light) else {
+            return Self::uniform(&[], slos);
+        };
         let mut per_feature = BTreeMap::new();
         for (&kind, model) in models {
             if kind == FeatureKind::Light {

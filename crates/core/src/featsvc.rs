@@ -80,12 +80,16 @@ impl FeatureService {
     /// Evicts least-recently-used entries until an insert fits the bound.
     fn evict_to_cap(&mut self) {
         while self.cache.len() >= self.max_cache {
-            let oldest = self
+            // `min_by_key` is `None` only for an empty cache, which the
+            // loop condition already rules out (`max_cache >= 1`).
+            let Some(oldest) = self
                 .cache
                 .iter()
                 .min_by_key(|(_, (_, stamp))| *stamp)
                 .map(|(k, _)| *k)
-                .expect("non-empty cache at cap");
+            else {
+                return;
+            };
             self.cache.remove(&oldest);
         }
     }

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use lr_device::switching::OnlineSwitchSampler;
 use lr_device::{DeviceKind, DeviceSim, OpUnit};
 use lr_eval::{LatencyStats, MapAccumulator};
+use lr_obs::{DecisionRecord, NullSink, ObsSink, SpanKind};
 use lr_video::{BBox, Video};
 
 use crate::featsvc::FeatureService;
@@ -88,6 +89,18 @@ pub enum DegradeKind {
     /// The scheduler's accuracy predictions were unusable and the branch
     /// was chosen on cost alone.
     CostOnlyDecision,
+}
+
+impl DegradeKind {
+    /// Stable snake_case name (metrics counter and trace tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeKind::CheaperRetry => "cheaper_retry",
+            DegradeKind::TrackerOnlyGof => "tracker_only_gof",
+            DegradeKind::DeadlineAbort => "deadline_abort",
+            DegradeKind::CostOnlyDecision => "cost_only_decision",
+        }
+    }
 }
 
 /// One recorded degradation event.
@@ -359,6 +372,20 @@ impl StreamPipeline {
         svc: &mut FeatureService,
         device: &mut DeviceSim,
     ) -> Option<GofStep> {
+        self.step_gof_obs(svc, device, &mut NullSink)
+    }
+
+    /// [`StreamPipeline::step_gof`] with an observer: emits one
+    /// [`DecisionRecord`] per GoF (joining the scheduler's explain with
+    /// the GoF's actual outcome) plus spans around the switch and the
+    /// kernel phases. Observation only reads the virtual clock — with a
+    /// [`NullSink`] this is byte-for-byte the plain `step_gof`.
+    pub fn step_gof_obs(
+        &mut self,
+        svc: &mut FeatureService,
+        device: &mut DeviceSim,
+        obs: &mut impl ObsSink,
+    ) -> Option<GofStep> {
         if self.finished() {
             return None;
         }
@@ -373,12 +400,18 @@ impl StreamPipeline {
 
         // Scheduler decision (all costs charged inside).
         let before = device.now_ms();
-        let decision = self.scheduler.decide(video, t, &self.boxes, svc, device);
+        let mut decision = self
+            .scheduler
+            .decide_obs(video, t, &self.boxes, svc, device, obs);
         let sched_ms = device.now_ms() - before;
         self.decisions += 1;
         if !decision.feasible {
             self.infeasible += 1;
         }
+        // For the decision record: where we were before any switch, and
+        // how many degrade events this step adds.
+        let prev_branch_idx = self.scheduler.current_branch();
+        let degrades_before = self.degrade_events.len();
 
         // Branch switch if needed.
         let mut switch_ms = 0.0;
@@ -386,7 +419,7 @@ impl StreamPipeline {
         let need_switch = self.scheduler.current_branch() != Some(decision.branch_idx)
             || self.mbek.branch().is_none();
         if need_switch {
-            switch_ms = self.switch_to(decision.branch_idx, device);
+            switch_ms = self.switch_to(decision.branch_idx, device, obs);
         }
         self.branches_used.insert(dst_key);
         *self.branch_decisions.entry(dst_key).or_insert(0) += 1;
@@ -416,7 +449,7 @@ impl StreamPipeline {
                 wasted_ms: 0.0,
             });
         }
-        let result = match self.mbek.try_run_gof(frames, device, &opts) {
+        let result = match self.mbek.try_run_gof_obs(frames, device, &opts, obs) {
             Ok(r) => r,
             Err(lr_kernels::GofError::DetectorFault { wasted_ms: w }) => {
                 gof_faults += 1;
@@ -427,7 +460,7 @@ impl StreamPipeline {
                 let cheapest = Self::cheapest_catalog_branch(&self.trained.det_inference_ms);
                 let mut retried = None;
                 if cheapest != exec_branch_idx {
-                    switch_ms += self.switch_to(cheapest, device);
+                    switch_ms += self.switch_to(cheapest, device, obs);
                     exec_branch_idx = cheapest;
                     self.degrade_events.push(DegradeEvent {
                         video_idx,
@@ -435,7 +468,7 @@ impl StreamPipeline {
                         kind: DegradeKind::CheaperRetry,
                         wasted_ms: w,
                     });
-                    match self.mbek.try_run_gof(frames, device, &opts) {
+                    match self.mbek.try_run_gof_obs(frames, device, &opts, obs) {
                         Ok(r) => retried = Some(r),
                         Err(lr_kernels::GofError::DetectorFault { wasted_ms: w2 }) => {
                             gof_faults += 1;
@@ -457,7 +490,7 @@ impl StreamPipeline {
                             wasted_ms,
                         });
                         let seed = self.last_detections.clone();
-                        match self.mbek.run_gof_fallback(frames, device, &seed) {
+                        match self.mbek.run_gof_fallback_obs(frames, device, &seed, obs) {
                             Ok(r) => r,
                             Err(_) => unreachable!("branch configured above"),
                         }
@@ -506,6 +539,39 @@ impl StreamPipeline {
             self.degraded_gofs += 1;
         }
         self.faults += gof_faults;
+
+        // Emit the decision record: the scheduler's reasoning joined with
+        // what actually happened. Pure observation — values already
+        // computed above, clock only read.
+        if obs.enabled() {
+            obs.decision(DecisionRecord {
+                stream: 0,
+                gof: 0, // stamped by the sink
+                video_idx,
+                start_frame: t,
+                t_ms: before,
+                explain: decision.explain.take().map(|b| *b).unwrap_or_default(),
+                chosen_key: self.trained.catalog[exec_branch_idx].name(),
+                prev_key: prev_branch_idx
+                    .map(|i| self.trained.catalog[i].name())
+                    .unwrap_or_default(),
+                switched: exec_branch_idx != decision.branch_idx || need_switch,
+                frames: frames.len(),
+                sched_ms,
+                switch_ms,
+                kernel_ms: result.kernel_ms(),
+                overhead_ms,
+                wasted_ms,
+                per_frame_ms: per_frame,
+                slowdown: device.external_gpu_slowdown().unwrap_or(1.0),
+                faults: u32::try_from(gof_faults).unwrap_or(u32::MAX),
+                degraded,
+                degrades: self.degrade_events[degrades_before..]
+                    .iter()
+                    .map(|e| e.kind.name())
+                    .collect(),
+            });
+        }
 
         // Feed observations back to the scheduler.
         let n = frames.len() as f64;
@@ -562,7 +628,7 @@ impl StreamPipeline {
     /// Switches the MBEK and scheduler to catalog branch `dst`, charging
     /// the sampled switching cost to `device`. Returns the charged
     /// milliseconds.
-    fn switch_to(&mut self, dst: usize, device: &mut DeviceSim) -> f64 {
+    fn switch_to(&mut self, dst: usize, device: &mut DeviceSim, obs: &mut impl ObsSink) -> f64 {
         let src_idx = self.scheduler.current_branch();
         let src_ms = src_idx.map_or(80.0, |i| self.trained.det_inference_ms[i]);
         let src_key = src_idx.map_or(0, |i| self.trained.catalog[i].key());
@@ -574,7 +640,9 @@ impl StreamPipeline {
             device.rng(),
         );
         // The switch occupies the GPU (model load + warmup).
+        obs.span_begin(SpanKind::Switch, "", device.now_ms());
         let ms = device.charge_fixed_on(OpUnit::Gpu, cost * device.profile().gpu_speed_factor);
+        obs.span_end(device.now_ms());
         self.switches.push(SwitchEvent {
             src_key,
             dst_key,
@@ -625,12 +693,26 @@ pub fn run_adaptive(
     cfg: &RunConfig,
     svc: &mut FeatureService,
 ) -> RunResult {
+    run_adaptive_obs(videos, trained, policy, cfg, svc, &mut NullSink)
+}
+
+/// [`run_adaptive`] with an observer attached to the stream's pipeline.
+/// With a [`NullSink`] (or any disabled sink) the result is
+/// byte-identical to `run_adaptive`.
+pub fn run_adaptive_obs(
+    videos: &[Video],
+    trained: Arc<TrainedScheduler>,
+    policy: Policy,
+    cfg: &RunConfig,
+    svc: &mut FeatureService,
+    obs: &mut impl ObsSink,
+) -> RunResult {
     let mut device = DeviceSim::new(cfg.device, cfg.contention_pct, cfg.seed);
     if let Some(fault) = cfg.fault {
         device.set_fault_plan(Some(lr_device::FaultPlan::generate(fault)));
     }
     let mut pipeline = StreamPipeline::new(videos.to_vec(), trained, policy, cfg);
-    while pipeline.step_gof(svc, &mut device).is_some() {}
+    while pipeline.step_gof_obs(svc, &mut device, obs).is_some() {}
     pipeline.into_result()
 }
 

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use lr_device::{DeviceSim, OpError, OpUnit, SwitchingCostModel};
 use lr_features::{FeatureKind, HEAVY_FEATURE_KINDS};
 use lr_kernels::{Branch, DetectorFamily};
+use lr_obs::{DecisionExplain, FeatureBen, NullSink, ObsSink, SpanKind};
 use lr_video::{BBox, Video};
 
 use crate::bentable::BenTable;
@@ -91,6 +92,10 @@ pub struct Decision {
     /// predict op faulted, or a prediction came back non-finite — and the
     /// branch was chosen on predicted cost alone.
     pub cost_only: bool,
+    /// The full decision rationale for the observability layer. Built
+    /// only when an enabled [`ObsSink`] asked for it (`None` otherwise,
+    /// so un-observed runs allocate nothing).
+    pub explain: Option<Box<DecisionExplain>>,
 }
 
 /// Fixed CPU cost of solving the constrained optimization.
@@ -318,6 +323,24 @@ impl Scheduler {
         svc: &mut FeatureService,
         device: &mut DeviceSim,
     ) -> Decision {
+        self.decide_obs(video, frame_idx, boxes, svc, device, &mut NullSink)
+    }
+
+    /// [`Scheduler::decide`] with an observer: spans around the light
+    /// pass, each heavy-feature pass, and the solve, plus a
+    /// [`DecisionExplain`] on the returned decision when the sink is
+    /// enabled. Observation only *reads* the virtual clock — with a
+    /// [`NullSink`] this is byte-for-byte the plain `decide`.
+    pub fn decide_obs(
+        &mut self,
+        video: &Video,
+        frame_idx: usize,
+        boxes: &[BBox],
+        svc: &mut FeatureService,
+        device: &mut DeviceSim,
+        obs: &mut impl ObsSink,
+    ) -> Decision {
+        obs.span_begin(SpanKind::Decision, "", device.now_ms());
         let free_run = matches!(self.policy, Policy::ForcedFeatureFree(_));
         let budget = self.slo_ms * self.headroom;
         let n = self.trained.catalog.len();
@@ -328,6 +351,7 @@ impl Scheduler {
         // Step 1: light features + content-agnostic predictions.
         let light_cost = FeatureKind::Light.cost();
         if !free_run {
+            obs.span_begin(SpanKind::LightFeature, "", device.now_ms());
             sched_ms += device.charge(OpUnit::Cpu, light_cost.extract_ms);
             match device.run_op(OpUnit::Gpu, light_cost.predict_ms) {
                 Ok(ms) => sched_ms += ms,
@@ -339,6 +363,7 @@ impl Scheduler {
                     predict_faulted = true;
                 }
             }
+            obs.span_end(device.now_ms());
         }
         let light = svc.light(video, frame_idx, boxes);
         let a_light = self.trained.accuracy[&FeatureKind::Light].predict(&light, None);
@@ -399,6 +424,7 @@ impl Scheduler {
                 // Extract then predict; a transient fault on either op
                 // drops the feature (the ensemble just loses one vote).
                 let mut op_failed = false;
+                obs.span_begin(SpanKind::HeavyFeature, kind.name(), device.now_ms());
                 for (u, ms) in [(unit, extract_ms), (OpUnit::Gpu, cost.predict_ms)] {
                     match device.run_op(u, ms) {
                         Ok(charged) => sched_ms += charged,
@@ -410,6 +436,7 @@ impl Scheduler {
                         }
                     }
                 }
+                obs.span_end(device.now_ms());
                 if op_failed {
                     continue;
                 }
@@ -421,7 +448,9 @@ impl Scheduler {
         }
 
         if !free_run {
+            obs.span_begin(SpanKind::Solve, "", device.now_ms());
             sched_ms += device.charge(OpUnit::Cpu, SOLVER_MS);
+            obs.span_end(device.now_ms());
         }
 
         // Step 4: constrained optimization over the final predictions.
@@ -474,6 +503,39 @@ impl Scheduler {
             }
         };
 
+        // Everything below is pure observation: values already computed,
+        // clock only read.
+        let explain = if obs.enabled() {
+            let switch_pred_ms = self.expected_switch_ms(branch_idx);
+            let amortized_ms = (s0 + extra + switch_pred_ms)
+                / self.trained.catalog[branch_idx].gof_size.max(1) as f64;
+            let slack_ms = budget - kernel_pred[branch_idx] - self.known_overhead_ms - amortized_ms;
+            Some(Box::new(DecisionExplain {
+                slo_ms: self.slo_ms,
+                budget_ms: budget,
+                features: used
+                    .iter()
+                    .map(|&k| FeatureBen {
+                        name: k.name(),
+                        ben: self.trained.ben.single(k, self.slo_ms),
+                    })
+                    .collect(),
+                branch_acc: a_final.clone(),
+                branch_kernel_ms: kernel_pred.clone(),
+                s0_ms: s0,
+                s_heavy_ms: extra,
+                switch_pred_ms,
+                amortized_ms,
+                slack_ms,
+                chosen: branch_idx,
+                feasible,
+                cost_only,
+            }))
+        } else {
+            None
+        };
+        obs.span_end(device.now_ms());
+
         Decision {
             branch_idx,
             features: used,
@@ -482,6 +544,7 @@ impl Scheduler {
             feasible,
             faults,
             cost_only,
+            explain,
         }
     }
 

@@ -1,6 +1,7 @@
 //! The GoF executor: tracking-by-detection over a Group-of-Frames.
 
 use lr_device::{DeviceSim, OpError, OpUnit};
+use lr_obs::{NullSink, ObsSink, SpanKind};
 use lr_video::FrameTruth;
 
 use crate::branch::Branch;
@@ -177,6 +178,25 @@ impl Mbek {
         device: &mut DeviceSim,
         opts: &GofOptions,
     ) -> Result<GofResult, GofError> {
+        self.try_run_gof_obs(frames, device, opts, &mut NullSink)
+    }
+
+    /// [`Mbek::try_run_gof`] with an observer: a `Detect` span around the
+    /// detection frame (closed even when the op faults, so the wasted
+    /// time is visible) and a `Track` span around the rest of the GoF.
+    /// Observation only reads the virtual clock — with a [`NullSink`]
+    /// this is byte-for-byte the plain `try_run_gof`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn try_run_gof_obs(
+        &mut self,
+        frames: &[FrameTruth],
+        device: &mut DeviceSim,
+        opts: &GofOptions,
+        obs: &mut impl ObsSink,
+    ) -> Result<GofResult, GofError> {
         let Some(branch) = self.branch else {
             return Err(GofError::NoBranch);
         };
@@ -193,9 +213,11 @@ impl Mbek {
         // detections to track from: propagate to the caller's ladder.
         let det_base = latency::detector_base_ms(self.detector.family(), branch.detector)
             * self.latency_factor;
+        obs.span_begin(SpanKind::Detect, "", device.now_ms());
         match device.run_op(OpUnit::Gpu, det_base) {
             Ok(ms) => detector_ms += ms,
             Err(OpError::Transient { wasted_ms }) => {
+                obs.span_end(device.now_ms());
                 return Err(GofError::DetectorFault { wasted_ms });
             }
         }
@@ -206,8 +228,13 @@ impl Mbek {
         if let Some(tracker) = &mut self.tracker {
             tracker.reinit(&first_output.detections, &frames[0]);
         }
+        obs.span_end(device.now_ms());
 
-        // Remaining frames.
+        // Remaining frames (one span for the whole tracked/re-detected
+        // tail — per-frame spans would dwarf the trace).
+        if frames.len() > 1 {
+            obs.span_begin(SpanKind::Track, "", device.now_ms());
+        }
         for (idx, frame) in frames.iter().enumerate().skip(1) {
             if let Some(deadline) = opts.deadline_ms {
                 if detector_ms + tracker_ms > deadline {
@@ -249,6 +276,9 @@ impl Mbek {
                 },
             }
         }
+        if frames.len() > 1 {
+            obs.span_end(device.now_ms());
+        }
 
         Ok(GofResult {
             per_frame,
@@ -277,10 +307,28 @@ impl Mbek {
         device: &mut DeviceSim,
         seed_dets: &[Detection],
     ) -> Result<GofResult, GofError> {
+        self.run_gof_fallback_obs(frames, device, seed_dets, &mut NullSink)
+    }
+
+    /// [`Mbek::run_gof_fallback`] with an observer: one `Fallback` span
+    /// over the whole tracker-only (or coasted) GoF. With a [`NullSink`]
+    /// this is byte-for-byte the plain `run_gof_fallback`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn run_gof_fallback_obs(
+        &mut self,
+        frames: &[FrameTruth],
+        device: &mut DeviceSim,
+        seed_dets: &[Detection],
+        obs: &mut impl ObsSink,
+    ) -> Result<GofResult, GofError> {
         let Some(branch) = self.branch else {
             return Err(GofError::NoBranch);
         };
         assert!(!frames.is_empty(), "empty GoF");
+        obs.span_begin(SpanKind::Fallback, "", device.now_ms());
 
         let mut per_frame: Vec<Vec<Detection>> = Vec::with_capacity(frames.len());
         let mut tracker_ms = 0.0;
@@ -305,6 +353,7 @@ impl Mbek {
             }
         }
 
+        obs.span_end(device.now_ms());
         let first_frame_output = DetectorOutput {
             detections: per_frame[0].clone(),
             proposal_logits: Vec::new(),

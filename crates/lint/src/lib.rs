@@ -226,6 +226,7 @@ mod tests {
              let r = thread_rng();\n\
              v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n\
              let x = o.unwrap();\n\
+             println!(\"{x}\");\n\
              }";
         let clean = scan(&[("crates/a/src/lib.rs", CLEAN)]);
         let bad = scan(&[

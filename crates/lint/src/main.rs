@@ -3,7 +3,7 @@
 //! ```text
 //! lr-lint --check                 # compare against lint_baseline.json (CI gate)
 //! lr-lint --update                # regenerate the baseline from the current tree
-//! lr-lint --explain <rule>        # document a rule (d1|d2|d3|n1|p1)
+//! lr-lint --explain <rule>        # document a rule (d1|d2|d3|n1|p1|o1)
 //! lr-lint --root <dir>            # workspace root (default: current directory)
 //! lr-lint --baseline <file>       # baseline path (default: <root>/lint_baseline.json)
 //! ```
@@ -58,7 +58,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--explain" => {
                 let name = it.next().ok_or("--explain needs a rule name")?;
                 let rule = RuleId::parse(name)
-                    .ok_or_else(|| format!("unknown rule {name:?} (try d1, d2, d3, n1, p1)"))?;
+                    .ok_or_else(|| format!("unknown rule {name:?} (try d1, d2, d3, n1, p1, o1)"))?;
                 mode = Some(Mode::Explain(rule));
             }
             "--root" => {

@@ -21,6 +21,11 @@
 //! - **P1** — `.unwrap()`/`.expect()` in non-test library code is
 //!   inventoried and ratcheted downward; new panic sites need a typed
 //!   error or an infallible restructuring.
+//! - **O1** — no `println!`/`eprintln!`/`dbg!` in library crates: ad-hoc
+//!   prints are invisible to the observability layer and pollute the
+//!   bench artifacts' stdout. Diagnostics flow through `lr-obs` sinks;
+//!   only the CLI surfaces (`crates/bench/`, `crates/lint/`,
+//!   `examples/`) and the `lr-obs` sink layer itself may print.
 
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -37,10 +42,19 @@ pub enum RuleId {
     N1,
     /// `.unwrap()` / `.expect()` inventory.
     P1,
+    /// Print macros in library crates.
+    O1,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [RuleId; 5] = [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::N1, RuleId::P1];
+pub const ALL_RULES: [RuleId; 6] = [
+    RuleId::D1,
+    RuleId::D2,
+    RuleId::D3,
+    RuleId::N1,
+    RuleId::P1,
+    RuleId::O1,
+];
 
 impl RuleId {
     /// Canonical short name.
@@ -51,6 +65,7 @@ impl RuleId {
             RuleId::D3 => "D3",
             RuleId::N1 => "N1",
             RuleId::P1 => "P1",
+            RuleId::O1 => "O1",
         }
     }
 
@@ -62,6 +77,7 @@ impl RuleId {
             "D3" => Some(RuleId::D3),
             "N1" => Some(RuleId::N1),
             "P1" => Some(RuleId::P1),
+            "O1" => Some(RuleId::O1),
             _ => None,
         }
     }
@@ -74,6 +90,7 @@ impl RuleId {
             RuleId::D3 => "ambient randomness (thread_rng/from_entropy/OsRng)",
             RuleId::N1 => "NaN-unsafe partial_cmp",
             RuleId::P1 => "unwrap()/expect() in non-test library code",
+            RuleId::O1 => "println!/eprintln!/dbg! in library crates",
         }
     }
 
@@ -143,6 +160,21 @@ impl RuleId {
                  behavior (corrupted internal state), keep it — the ratchet only requires\n\
                  that the total never grows."
             }
+            RuleId::O1 => {
+                "O1: no print macros in library crates.\n\
+                 \n\
+                 println!/eprintln!/print!/eprint!/dbg! in a library crate bypasses the\n\
+                 observability layer: the output is invisible to trace analysis, interleaves\n\
+                 nondeterministically under parallel stepping, and corrupts the stdout of\n\
+                 bench binaries whose artifacts are byte-compared in CI. Diagnostics belong\n\
+                 in lr-obs sinks (spans, decision records, metrics), which are deterministic\n\
+                 and mergeable.\n\
+                 \n\
+                 Fix: record the fact through an ObsSink (span, counter, or decision field)\n\
+                 or return it in a typed result. Only CLI surfaces print: the bench and lint\n\
+                 binaries (crates/bench/, crates/lint/), the examples (examples/), and the\n\
+                 lr-obs sink layer itself (crates/obs/). Test code is exempt as usual."
+            }
         }
     }
 }
@@ -184,6 +216,15 @@ fn path_is_test(path: &str) -> bool {
 /// D1 allowlist: the bench harness measures host walltime on purpose.
 fn path_allows_wall_clock(path: &str) -> bool {
     path.starts_with("crates/bench/")
+}
+
+/// O1 allowlist: CLI surfaces whose job is to print, plus the lr-obs
+/// sink layer (the sanctioned place where diagnostics become text).
+fn path_allows_print(path: &str) -> bool {
+    path.starts_with("crates/bench/")
+        || path.starts_with("crates/lint/")
+        || path.starts_with("crates/obs/")
+        || path.starts_with("examples/")
 }
 
 /// Scans one file's source text. `path` must be workspace-relative with
@@ -258,6 +299,11 @@ pub fn scan_source(path: &str, src: &str) -> FileScan {
                 }
                 "HashMap" | "HashSet" if !in_use[idx] => report(RuleId::D2, tok.line),
                 "thread_rng" | "from_entropy" | "OsRng" => report(RuleId::D3, tok.line),
+                "println" | "eprintln" | "print" | "eprint" | "dbg" if !path_allows_print(path) => {
+                    if next(1).is_some_and(|t| t.is_punct('!')) {
+                        report(RuleId::O1, tok.line);
+                    }
+                }
                 "partial_cmp" => report(RuleId::N1, tok.line),
                 "unwrap" | "expect" => {
                     let after_dot = k > 0 && sig[k - 1].1.is_punct('.');
@@ -502,6 +548,50 @@ mod tests {
     fn strings_and_comments_never_fire() {
         let src = "fn f() { let s = \"Instant::now() HashMap partial_cmp\"; /* thread_rng */ }\n// SystemTime in prose";
         assert!(scan_source("crates/core/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn o1_flags_print_macros_in_library_code() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); dbg!(1); print!(\"z\"); }";
+        let scan = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(
+            rules_of(&scan),
+            vec![
+                (RuleId::O1, 1),
+                (RuleId::O1, 1),
+                (RuleId::O1, 1),
+                (RuleId::O1, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn o1_ignores_non_macro_idents() {
+        // A method or fn named `print` (no `!`) is not a print macro.
+        let src = "fn f(w: &mut W) { w.print(); let dbg = 1; }";
+        assert!(scan_source("crates/core/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn o1_allowlists_cli_surfaces_and_obs() {
+        let src = "fn f() { println!(\"x\"); }";
+        for path in [
+            "crates/bench/src/bin/t.rs",
+            "crates/lint/src/main.rs",
+            "crates/obs/src/sink.rs",
+            "examples/quickstart.rs",
+        ] {
+            assert!(scan_source(path, src).findings.is_empty(), "{path}");
+        }
+        assert_eq!(scan_source("crates/serve/src/x.rs", src).findings.len(), 1);
+    }
+
+    #[test]
+    fn o1_exempts_test_code_and_honors_allow() {
+        let src = "#[test]\nfn t() { println!(\"x\"); }\nfn lib() { println!(\"y\"); // lr-lint: allow(o1)\n}";
+        let scan = scan_source("crates/core/src/x.rs", src);
+        assert!(scan.findings.is_empty(), "{:?}", scan.findings);
+        assert_eq!(scan.allows[5], 1);
     }
 
     #[test]

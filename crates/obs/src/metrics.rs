@@ -1,0 +1,250 @@
+//! Deterministic metrics registry: counters and fixed-bucket
+//! histograms.
+//!
+//! Everything is `BTreeMap`-backed (lint rule D2) and the bucket
+//! layouts are compile-time constants, so two registries fed the same
+//! observations in the same order are structurally equal, and merging
+//! per-stream registries in stream order yields byte-identical rendered
+//! output for any `LR_POOL_THREADS`.
+
+use std::collections::BTreeMap;
+
+/// Upper bucket bounds (ms) for per-frame latency distributions.
+pub const LATENCY_BOUNDS: [f64; 7] = [2.0, 5.0, 10.0, 20.0, 33.3, 50.0, 100.0];
+/// Upper bucket bounds (ms) for scheduler-overhead distributions.
+pub const SCHED_BOUNDS: [f64; 6] = [0.5, 1.0, 2.0, 5.0, 10.0, 25.0];
+/// Upper bucket bounds (ms) for span-duration distributions.
+pub const SPAN_BOUNDS: [f64; 6] = [0.5, 1.0, 5.0, 10.0, 50.0, 200.0];
+/// Upper bucket bounds (ms) for predicted-slack distributions (negative
+/// slack means the scheduler knowingly exceeded the budget).
+pub const SLACK_BOUNDS: [f64; 6] = [-10.0, 0.0, 5.0, 10.0, 20.0, 40.0];
+
+/// A fixed-bucket histogram. The final implicit bucket is `+inf`, so
+/// `counts.len() == bounds.len() + 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given upper bucket bounds (must be strictly
+    /// increasing).
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last bucket is the `+inf` overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fold another histogram into this one. Panics if the bucket
+    /// layouts differ — merge partners must come from the same
+    /// compile-time layout.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bucket mismatch");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// The registry: named counters and named histograms, both ordered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `by` to the named counter, creating it at zero.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record an observation in the named histogram, creating it with
+    /// the given bucket layout on first use.
+    pub fn observe(&mut self, name: &'static str, bounds: &[f64], v: f64) {
+        self.hists
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Read a histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Fold another registry into this one. Call in `(stream, gof)`
+    /// order during the serial post-pass; the result is then
+    /// independent of how many workers produced the inputs.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, h) in &other.hists {
+            match self.hists.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.hists.insert(name, h.clone());
+                }
+            }
+        }
+    }
+
+    /// Render the registry as stable, human-readable text: counters
+    /// first, then histograms, both in name order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            out.push_str(&format!("counter {name} = {v}\n"));
+        }
+        for (name, h) in self.hists() {
+            out.push_str(&format!(
+                "hist {name}: count {} mean {:.3}\n",
+                h.count(),
+                h.mean()
+            ));
+            let mut lo = f64::NEG_INFINITY;
+            for (i, &c) in h.counts().iter().enumerate() {
+                let hi = h.bounds().get(i).copied();
+                let label = match (lo == f64::NEG_INFINITY, hi) {
+                    (true, Some(hi)) => format!("(-inf, {hi}]"),
+                    (false, Some(hi)) => format!("({lo}, {hi}]"),
+                    (_, None) => format!("({lo}, +inf)"),
+                };
+                out.push_str(&format!("  {label:>16} {c}\n"));
+                if let Some(hi) = hi {
+                    lo = hi;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut h = Histogram::new(&[1.0, 5.0]);
+        for v in [0.5, 1.0, 3.0, 5.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_on_totals() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.inc("gofs", 3);
+        b.inc("gofs", 4);
+        b.inc("faults", 1);
+        a.observe("lat", &LATENCY_BOUNDS, 7.0);
+        b.observe("lat", &LATENCY_BOUNDS, 40.0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("gofs"), 7);
+        assert_eq!(ab.counter("faults"), 1);
+        assert_eq!(ab.hist("lat").map(Histogram::count), Some(2));
+    }
+
+    #[test]
+    fn render_is_stable_and_ordered() {
+        let mut m = Metrics::new();
+        m.inc("zeta", 1);
+        m.inc("alpha", 2);
+        m.observe("lat", &[1.0], 0.5);
+        let r = m.render();
+        let alpha = r.find("alpha").unwrap_or(usize::MAX);
+        let zeta = r.find("zeta").unwrap_or(0);
+        assert!(alpha < zeta, "counters must render in name order:\n{r}");
+        assert!(r.contains("hist lat: count 1 mean 0.500"));
+        assert_eq!(m.render(), r, "render must be deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket mismatch")]
+    fn merging_mismatched_layouts_panics() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge(&b);
+    }
+}

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use litereconfig::{FeatureService, Policy, RunConfig, StreamPipeline, TrainedScheduler};
 use lr_device::{DeviceKind, DeviceSim};
+use lr_obs::{ObsBundle, ObsMode, RoundRecord, StreamObs, TraceEvent};
 use lr_video::Video;
 
 use crate::admission::{AdmissionController, AdmissionDecision};
@@ -83,6 +84,12 @@ pub struct ServeConfig {
     pub fault_backoff_ms: f64,
     /// Cap on the exponential re-admission backoff.
     pub fault_backoff_max_ms: f64,
+    /// Observability mode for the run: per-stream sinks collect spans,
+    /// decision records, and metrics at this level. `Off` (the default)
+    /// is byte-identical to the unobserved dispatcher; `Counting` and
+    /// `Trace` never perturb the run either — observation only reads
+    /// the virtual clock.
+    pub obs: ObsMode,
 }
 
 impl ServeConfig {
@@ -107,6 +114,7 @@ impl ServeConfig {
             fault_rate_threshold: 0.5,
             fault_backoff_ms: 500.0,
             fault_backoff_max_ms: 8_000.0,
+            obs: ObsMode::Off,
         }
     }
 
@@ -159,6 +167,10 @@ struct ActiveStream {
     /// Capacity fraction currently booked with the admission controller
     /// (released on eviction, re-booked on re-admission).
     booked_fraction: f64,
+    /// Stream-private observer: buffers spans, decision records, and
+    /// metrics with no cross-stream synchronization; drained into the
+    /// run's [`ObsBundle`] serially, in spec order, after the run.
+    obs: StreamObs,
 }
 
 impl ActiveStream {
@@ -222,6 +234,26 @@ pub fn serve(
     cfg: &ServeConfig,
     svc: &mut FeatureService,
 ) -> ServeReport {
+    serve_traced(specs, trained, policy, cfg, svc).0
+}
+
+/// [`serve`], additionally returning the run's [`ObsBundle`]: merged
+/// metrics plus (under [`ObsMode::Trace`]) the ordered event stream —
+/// spans, scheduler decision records, and dispatch-round records.
+///
+/// Events are buffered per stream during the run (no cross-worker
+/// synchronization) and drained serially in spec order afterwards, so
+/// the bundle — like the report — is bit-identical for any
+/// [`ServeConfig::pool_threads`] value. With [`ServeConfig::obs`] set
+/// to [`ObsMode::Off`] the bundle is empty and the run is byte-for-byte
+/// the unobserved dispatcher.
+pub fn serve_traced(
+    specs: &[StreamSpec],
+    trained: Arc<TrainedScheduler>,
+    policy: Policy,
+    cfg: &ServeConfig,
+    svc: &mut FeatureService,
+) -> (ServeReport, ObsBundle) {
     let profile = cfg.device.profile();
     let mut controller = AdmissionController::new(cfg.capacity_fraction);
     let mut shared = SharedDevice::new(cfg.window_ms, cfg.max_occupancy);
@@ -290,6 +322,7 @@ pub fn serve(
             recovery_ms_total: 0.0,
             terminal_evicted: false,
             booked_fraction,
+            obs: StreamObs::new(cfg.obs),
         });
     }
 
@@ -298,6 +331,8 @@ pub fn serve(
     // the furthest-behind stream and steps them all, in parallel,
     // against the same pre-round occupancy snapshot.
     let pool = lr_pool::Pool::resolve(cfg.pool_threads);
+    let mut round_records: Vec<RoundRecord> = Vec::new();
+    let mut round_idx = 0u64;
     loop {
         let min_key = active
             .iter()
@@ -347,6 +382,14 @@ pub fn serve(
             // iteration; re-evaluate the remaining population.
             continue;
         }
+        round_idx += 1;
+        if cfg.obs == ObsMode::Trace {
+            round_records.push(RoundRecord {
+                idx: round_idx - 1,
+                threshold_ms: threshold,
+                members: round.iter().map(|s| s.spec_idx as u32).collect(),
+            });
+        }
 
         // Publish each member's expected demand (its previous GoF's
         // footprint at its upcoming start) before anyone measures. A
@@ -377,7 +420,8 @@ pub fn serve(
             let slowdown = shared.slowdown_for(s.slot, start);
             s.device.set_external_gpu_slowdown(slowdown);
             s.pipeline.observe_contention(slowdown);
-            let step = s.pipeline.step_gof(&mut s.svc, &mut s.device);
+            let obs = &mut s.obs;
+            let step = s.pipeline.step_gof_obs(&mut s.svc, &mut s.device, obs);
             (start, s.device.now_ms(), slowdown, step)
         });
 
@@ -434,9 +478,20 @@ pub fn serve(
         }
     }
 
-    // Assemble the report in offer order.
+    // Assemble the report — and drain per-stream observers — in offer
+    // order. `active` holds streams in spec order, and each stream's
+    // events are already in its own GoF order, so the merged event
+    // stream is globally (stream, gof)-ordered regardless of how rounds
+    // interleaved the streams in virtual time.
+    let mut bundle = ObsBundle::default();
     let mut finished: Vec<Option<StreamReport>> = (0..specs.len()).map(|_| None).collect();
-    for s in active {
+    for mut s in active {
+        let (metrics, mut events) = s.obs.take();
+        bundle.metrics.merge(&metrics);
+        for ev in &mut events {
+            ev.set_stream(s.spec_idx as u32);
+        }
+        bundle.events.extend(events);
         let spec = &specs[s.spec_idx];
         let slo_ms = spec.class.slo_ms();
         let mean_slowdown = if s.gofs == 0 {
@@ -488,10 +543,20 @@ pub fn serve(
         })
         .collect();
 
-    ServeReport {
-        admission_enabled: cfg.admission_enabled,
-        streams,
+    if cfg.obs != ObsMode::Off {
+        bundle.metrics.inc("rounds", round_idx);
     }
+    bundle
+        .events
+        .extend(round_records.into_iter().map(TraceEvent::Round));
+
+    (
+        ServeReport {
+            admission_enabled: cfg.admission_enabled,
+            streams,
+        },
+        bundle,
+    )
 }
 
 #[cfg(test)]

@@ -39,7 +39,8 @@ pub mod shared;
 pub mod slo;
 
 pub use admission::{AdmissionController, AdmissionDecision};
-pub use dispatch::{serve, ServeConfig};
+pub use dispatch::{serve, serve_traced, ServeConfig};
+pub use lr_obs::{ObsBundle, ObsMode};
 pub use report::{ServeReport, StreamReport};
 pub use shared::SharedDevice;
 pub use slo::{SloClass, StreamSpec};

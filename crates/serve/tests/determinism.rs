@@ -12,7 +12,7 @@ use litereconfig::{FeatureService, Policy, TrainedScheduler};
 use lr_device::DeviceKind;
 use lr_kernels::branch::small_catalog;
 use lr_kernels::DetectorFamily;
-use lr_serve::{serve, ServeConfig, ServeReport, SloClass, StreamSpec};
+use lr_serve::{serve, serve_traced, ObsMode, ServeConfig, ServeReport, SloClass, StreamSpec};
 use lr_video::{Video, VideoSpec};
 
 fn trained() -> Arc<TrainedScheduler> {
@@ -176,6 +176,126 @@ fn faulted_serving_is_thread_count_invariant() {
             &format!("faulted {threads} workers"),
         );
     }
+}
+
+#[test]
+fn trace_jsonl_is_thread_count_invariant() {
+    // The observability layer inherits the determinism contract: the
+    // serialized trace — spans, decision records, rounds, metrics — must
+    // be byte-identical for any worker count, because per-stream sinks
+    // buffer privately and are drained serially in spec order.
+    let t = trained();
+    let specs = mixed_specs(6);
+    let run = |threads: usize| {
+        let mut cfg = ServeConfig::new(DeviceKind::JetsonTx2);
+        cfg.seed = 21;
+        cfg.pool_threads = threads;
+        cfg.obs = ObsMode::Trace;
+        let mut svc = FeatureService::new();
+        serve_traced(&specs, t.clone(), Policy::CostBenefit, &cfg, &mut svc)
+    };
+    let (report_1, bundle_1) = run(1);
+    let jsonl_1 = bundle_1.to_jsonl();
+    assert!(
+        bundle_1.decisions().next().is_some(),
+        "trace produced no decision records; the test is vacuous"
+    );
+    assert!(
+        bundle_1.spans().next().is_some(),
+        "trace produced no spans; the test is vacuous"
+    );
+    for threads in [2, 4] {
+        let (report_n, bundle_n) = run(threads);
+        assert_reports_identical(&report_1, &report_n, &format!("traced {threads} workers"));
+        assert_eq!(
+            jsonl_1,
+            bundle_n.to_jsonl(),
+            "trace JSONL differs between 1 and {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn faulted_trace_jsonl_is_thread_count_invariant() {
+    // Same contract with fault injection live: DetectorFault spans end
+    // on the error path, fallback spans and degrade tags flow into the
+    // decision records, and the serialized trace must still be
+    // byte-identical for any worker count.
+    let t = trained();
+    let specs = mixed_specs(6);
+    let run = |threads: usize| {
+        let mut cfg = ServeConfig::new(DeviceKind::JetsonTx2);
+        cfg.seed = 5;
+        cfg.pool_threads = threads;
+        cfg.obs = ObsMode::Trace;
+        let mut fault = lr_device::FaultConfig::moderate(404);
+        fault.transient_rate = 0.25;
+        cfg.fault = Some(fault);
+        cfg.fault_window_gofs = 3;
+        cfg.fault_rate_threshold = 0.34;
+        cfg.fault_backoff_ms = 120.0;
+        let mut svc = FeatureService::new();
+        serve_traced(&specs, t.clone(), Policy::CostBenefit, &cfg, &mut svc)
+    };
+    let (report_1, bundle_1) = run(1);
+    assert!(
+        report_1.total_faults() > 0,
+        "fault injection never fired; the test is vacuous"
+    );
+    let jsonl_1 = bundle_1.to_jsonl();
+    assert!(
+        bundle_1.decisions().any(|d| d.faults > 0),
+        "no decision record carries a fault; the test is vacuous"
+    );
+    for threads in [2, 4] {
+        let (report_n, bundle_n) = run(threads);
+        assert_reports_identical(
+            &report_1,
+            &report_n,
+            &format!("faulted traced {threads} workers"),
+        );
+        assert_eq!(
+            jsonl_1,
+            bundle_n.to_jsonl(),
+            "faulted trace JSONL differs between 1 and {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn observation_never_perturbs_the_run() {
+    // The zero-overhead contract: the report must be bit-identical
+    // whether observation is off, counting, or fully tracing — sinks
+    // only read the virtual clock, never advance it or draw RNG. And
+    // counting mode's metrics must equal trace mode's, since tracing
+    // only *adds* the event stream.
+    let t = trained();
+    let specs = mixed_specs(6);
+    let run = |mode: ObsMode| {
+        let mut cfg = ServeConfig::new(DeviceKind::JetsonTx2);
+        cfg.seed = 33;
+        cfg.obs = mode;
+        let mut svc = FeatureService::new();
+        serve_traced(&specs, t.clone(), Policy::CostBenefit, &cfg, &mut svc)
+    };
+    let (report_off, bundle_off) = run(ObsMode::Off);
+    let (report_count, bundle_count) = run(ObsMode::Counting);
+    let (report_trace, bundle_trace) = run(ObsMode::Trace);
+    assert_reports_identical(&report_off, &report_count, "off vs counting");
+    assert_reports_identical(&report_off, &report_trace, "off vs trace");
+    assert!(
+        bundle_off.metrics.counters().next().is_none() && bundle_off.events.is_empty(),
+        "Off mode must collect nothing"
+    );
+    assert!(
+        bundle_count.events.is_empty(),
+        "Counting mode must not buffer events"
+    );
+    assert_eq!(
+        bundle_count.metrics.render(),
+        bundle_trace.metrics.render(),
+        "counting and tracing must aggregate identical metrics"
+    );
 }
 
 #[test]
